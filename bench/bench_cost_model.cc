@@ -1,0 +1,63 @@
+// Reproduces paper Figure 17: the Section 7 analytical cost models vs the
+// measured (simulated) runtimes for RadixSelect and BitonicTopK across k.
+//
+// Expected: predictions track the measurements and preserve the
+// bitonic-vs-radix-select cutoff; the models mildly under-predict (they
+// assume peak bandwidths), as in the paper.
+#include "bench/bench_util.h"
+#include "cost/cost_model.h"
+
+namespace mptopk::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags, "20");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    flags.PrintHelp(argv[0]);
+    return 0;
+  }
+  const size_t n = size_t{1} << flags.GetInt("n_log2");
+  const int ts = static_cast<int>(flags.GetInt("trace_sample"));
+  auto data = GenerateFloats(n, Distribution::kUniform, flags.GetInt("seed"));
+  const auto spec = simt::DeviceSpec::TitanXMaxwell();
+
+  std::printf("# Figure 17: cost model predicted vs measured (simulated), "
+              "n=2^%lld floats\n",
+              static_cast<long long>(flags.GetInt("n_log2")));
+  TablePrinter t({"k", "Bitonic measured", "Bitonic predicted",
+                  "RadixSel measured", "RadixSel predicted"});
+  for (size_t k : PowersOfTwo(1, 1024)) {
+    cost::Workload w{n, NextPowerOfTwo(k), 4, 4, Distribution::kUniform};
+    t.AddRow({
+        std::to_string(k),
+        TablePrinter::Cell(RunGpu(gpu::Algorithm::kBitonic, data, k, ts), 3),
+        TablePrinter::Cell(cost::BitonicTopKCostMs(spec, w), 3),
+        TablePrinter::Cell(RunGpu(gpu::Algorithm::kRadixSelect, data, k, ts),
+                           3),
+        TablePrinter::Cell(cost::RadixSelectCostMs(spec, w), 3),
+    });
+  }
+  PrintTable(t, flags.GetBool("csv"));
+
+  std::printf("\n# Paper-scale predictions (n=2^29, no simulation):\n");
+  TablePrinter big({"k", "Bitonic predicted", "RadixSel predicted"});
+  for (size_t k : PowersOfTwo(1, 1024)) {
+    cost::Workload w{size_t{1} << 29, NextPowerOfTwo(k), 4, 4,
+                     Distribution::kUniform};
+    big.AddRow({std::to_string(k),
+                TablePrinter::Cell(cost::BitonicTopKCostMs(spec, w), 2),
+                TablePrinter::Cell(cost::RadixSelectCostMs(spec, w), 2)});
+  }
+  PrintTable(big, flags.GetBool("csv"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace mptopk::bench
+
+int main(int argc, char** argv) { return mptopk::bench::Main(argc, argv); }

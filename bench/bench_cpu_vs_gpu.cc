@@ -1,0 +1,77 @@
+// Reproduces paper Figure 15: CPU heap-based top-k (STL PQ, Hand PQ) and
+// the Appendix C CPU bitonic top-k against the GPU algorithms.
+//
+//   --dist=uniform    (Fig 15a: few heap updates; heaps are memory bound
+//                      and competitive; CPU bitonic does extra compute)
+//   --dist=increasing (Fig 15b: every element updates the heap; the heaps
+//                      collapse, CPU bitonic holds thanks to
+//                      data-obliviousness + SIMD, GPU wins by a wide margin)
+//
+// Note: CPU columns are real wall-clock on this host (thread count via
+// --threads, default = hardware concurrency; the paper used 8 cores); GPU
+// columns are simulated device ms. Compare shapes, not absolute ratios.
+#include "bench/bench_util.h"
+#include "cputopk/cpu_topk.h"
+
+namespace mptopk::bench {
+namespace {
+
+double RunCpu(cpu::CpuAlgorithm algo, const std::vector<float>& data,
+              size_t k, int threads) {
+  auto r = cpu::CpuTopK(data.data(), data.size(), k, algo, threads);
+  if (!r.ok()) return kNaN;
+  return r->wall_ms;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags, "20");
+  flags.Define("dist", "uniform", "uniform | increasing");
+  flags.Define("threads", "0", "CPU threads (0 = hardware concurrency)");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    flags.PrintHelp(argv[0]);
+    return 0;
+  }
+  const size_t n = size_t{1} << flags.GetInt("n_log2");
+  const int ts = static_cast<int>(flags.GetInt("trace_sample"));
+  const int threads = static_cast<int>(flags.GetInt("threads"));
+  auto dist_or = ParseDistribution(flags.GetString("dist"));
+  if (!dist_or.ok()) {
+    std::fprintf(stderr, "%s\n", dist_or.status().ToString().c_str());
+    return 1;
+  }
+  auto data = GenerateFloats(n, *dist_or, flags.GetInt("seed"));
+
+  std::printf("# Figure 15%s: CPU (wall ms) vs GPU (simulated ms), "
+              "n=2^%lld floats, %s\n",
+              *dist_or == Distribution::kUniform ? "a" : "b",
+              static_cast<long long>(flags.GetInt("n_log2")),
+              DistributionName(*dist_or));
+  TablePrinter table({"k", "STL PQ (CPU)", "Hand PQ (CPU)",
+                      "Bitonic (CPU)", "Bitonic (GPU)", "RadixSel (GPU)"});
+  for (size_t k : PowersOfTwo(1, 256)) {
+    table.AddRow({
+        std::to_string(k),
+        TablePrinter::Cell(RunCpu(cpu::CpuAlgorithm::kStlPq, data, k,
+                                  threads), 2),
+        TablePrinter::Cell(RunCpu(cpu::CpuAlgorithm::kHandPq, data, k,
+                                  threads), 2),
+        TablePrinter::Cell(RunCpu(cpu::CpuAlgorithm::kBitonic, data, k,
+                                  threads), 2),
+        TablePrinter::Cell(RunGpu(gpu::Algorithm::kBitonic, data, k, ts), 3),
+        TablePrinter::Cell(RunGpu(gpu::Algorithm::kRadixSelect, data, k, ts),
+                           3),
+    });
+  }
+  PrintTable(table, flags.GetBool("csv"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace mptopk::bench
+
+int main(int argc, char** argv) { return mptopk::bench::Main(argc, argv); }

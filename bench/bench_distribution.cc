@@ -1,0 +1,73 @@
+// Reproduces paper Figure 12: algorithm robustness against input
+// distribution.
+//
+//   Fig 12a: --dist=increasing   (sorted floats: PerThread worst case,
+//                                 every element triggers a heap update)
+//   Fig 12b: --dist=bucket_killer (adversarial for RadixSelect: each pass
+//                                  eliminates one key, degrading to sort
+//                                  cost; BucketSelect ~2x slower)
+//
+// Sort and Bitonic are data-oblivious: their rows must match the uniform
+// baseline exactly.
+#include "bench/bench_util.h"
+
+namespace mptopk::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags, "20");
+  flags.Define("dist", "increasing",
+               "distribution: uniform | increasing | decreasing | "
+               "bucket_killer");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    flags.PrintHelp(argv[0]);
+    return 0;
+  }
+  const size_t n = size_t{1} << flags.GetInt("n_log2");
+  const int ts = static_cast<int>(flags.GetInt("trace_sample"));
+  auto dist_or = ParseDistribution(flags.GetString("dist"));
+  if (!dist_or.ok()) {
+    std::fprintf(stderr, "%s\n", dist_or.status().ToString().c_str());
+    return 1;
+  }
+  const Distribution dist = *dist_or;
+
+  std::printf("# Figure 12 (%s): top-k vs k under the '%s' distribution, "
+              "n=2^%lld floats (simulated ms); uniform baseline in "
+              "parentheses-style second row block\n",
+              dist == Distribution::kIncreasing ? "a" : "b",
+              DistributionName(dist),
+              static_cast<long long>(flags.GetInt("n_log2")));
+
+  auto run = [&](Distribution d, const char* label) {
+    auto data = GenerateFloats(n, d, flags.GetInt("seed"));
+    TablePrinter table({"k", "Sort", "PerThread", "RadixSelect",
+                        "BucketSelect", "BitonicTopK"});
+    for (size_t k : PowersOfTwo(1, 1024)) {
+      std::vector<std::string> row{std::to_string(k)};
+      for (gpu::Algorithm a :
+           {gpu::Algorithm::kSort, gpu::Algorithm::kPerThread,
+            gpu::Algorithm::kRadixSelect, gpu::Algorithm::kBucketSelect,
+            gpu::Algorithm::kBitonic}) {
+        row.push_back(TablePrinter::Cell(RunGpu(a, data, k, ts), 3));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("## %s\n", label);
+    PrintTable(table, flags.GetBool("csv"));
+  };
+  run(dist, DistributionName(dist));
+  std::printf("\n");
+  run(Distribution::kUniform, "uniform (baseline)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mptopk::bench
+
+int main(int argc, char** argv) { return mptopk::bench::Main(argc, argv); }

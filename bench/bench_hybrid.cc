@@ -1,0 +1,56 @@
+// Extension bench (paper Section 8 future work): the sampling-based hybrid
+// against bitonic top-k and radix select, across k and distributions.
+//
+// Expected: on discriminating keys the hybrid approaches the one-read
+// bandwidth floor (below bitonic's shared-bound cost) and stays flat in k;
+// on bucket-killer inputs it pays bitonic plus one wasted read (the
+// fallback), demonstrating the robustness trade.
+#include "bench/bench_util.h"
+
+namespace mptopk::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags, "21");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    flags.PrintHelp(argv[0]);
+    return 0;
+  }
+  const size_t n = size_t{1} << flags.GetInt("n_log2");
+  const int ts = static_cast<int>(flags.GetInt("trace_sample"));
+  const uint64_t seed = flags.GetInt("seed");
+
+  std::printf("# Hybrid (sampled pivot + bitonic) vs the paper's best "
+              "algorithms, n=2^%lld (simulated ms)\n",
+              static_cast<long long>(flags.GetInt("n_log2")));
+  const double floor_ms = BandwidthFloorMs(n * sizeof(float));
+  std::printf("# one-read bandwidth floor: %.3f ms\n", floor_ms);
+
+  for (auto dist : {Distribution::kUniform, Distribution::kBucketKiller}) {
+    std::printf("## floats, %s\n", DistributionName(dist));
+    auto data = GenerateFloats(n, dist, seed);
+    TablePrinter t({"k", "Hybrid", "BitonicTopK", "RadixSelect"});
+    for (size_t k : PowersOfTwo(8, 1024)) {
+      t.AddRow({std::to_string(k),
+                TablePrinter::Cell(RunGpu(gpu::Algorithm::kHybrid, data, k,
+                                          ts), 3),
+                TablePrinter::Cell(RunGpu(gpu::Algorithm::kBitonic, data, k,
+                                          ts), 3),
+                TablePrinter::Cell(RunGpu(gpu::Algorithm::kRadixSelect, data,
+                                          k, ts), 3)});
+    }
+    PrintTable(t, flags.GetBool("csv"));
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mptopk::bench
+
+int main(int argc, char** argv) { return mptopk::bench::Main(argc, argv); }

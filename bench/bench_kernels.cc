@@ -1,0 +1,80 @@
+// Google-benchmark microbenchmarks of the library's host-side hot paths:
+// simulator execution overhead per element, trace analysis, the bitonic
+// window planner, and the CPU top-k kernels. These measure *host* wall time
+// of the simulation itself (useful when sizing experiments), unlike the
+// paper-figure benches which report simulated device time.
+#include <benchmark/benchmark.h>
+
+#include "common/distributions.h"
+#include "cputopk/cpu_topk.h"
+#include "gputopk/bitonic_plan.h"
+#include "gputopk/topk.h"
+
+namespace mptopk {
+namespace {
+
+void BM_SimBitonicTopK(benchmark::State& state) {
+  const size_t n = 1 << 16;
+  auto data = GenerateFloats(n, Distribution::kUniform);
+  for (auto _ : state) {
+    simt::Device dev;
+    dev.set_trace_sample_target(8);
+    auto r = gpu::BitonicTopK(dev, data.data(), n, state.range(0));
+    benchmark::DoNotOptimize(r->kernel_ms);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimBitonicTopK)->Arg(32)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SimTracedVsUntraced(benchmark::State& state) {
+  const size_t n = 1 << 16;
+  auto data = GenerateFloats(n, Distribution::kUniform);
+  for (auto _ : state) {
+    simt::Device dev;
+    dev.set_trace_sample_target(static_cast<int>(state.range(0)));
+    auto r = gpu::BitonicTopK(dev, data.data(), n, 32);
+    benchmark::DoNotOptimize(r->kernel_ms);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimTracedVsUntraced)
+    ->Arg(0)   // trace every block
+    ->Arg(4)   // sample 4 blocks
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WindowPlanner(benchmark::State& state) {
+  auto steps = gpu::BitonicLocalSortSteps(static_cast<uint32_t>(
+      state.range(0)));
+  for (auto _ : state) {
+    auto w = gpu::PlanBitonicWindows(steps, 4);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_WindowPlanner)->Arg(32)->Arg(1024);
+
+void BM_CpuHandPq(benchmark::State& state) {
+  const size_t n = 1 << 18;
+  auto data = GenerateFloats(n, Distribution::kUniform);
+  for (auto _ : state) {
+    auto r = cpu::CpuTopK(data.data(), n, 64, cpu::CpuAlgorithm::kHandPq, 1);
+    benchmark::DoNotOptimize(r->items.front());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CpuHandPq)->Unit(benchmark::kMillisecond);
+
+void BM_CpuBitonic(benchmark::State& state) {
+  const size_t n = 1 << 18;
+  auto data = GenerateFloats(n, Distribution::kUniform);
+  for (auto _ : state) {
+    auto r = cpu::CpuTopK(data.data(), n, 64, cpu::CpuAlgorithm::kBitonic, 1);
+    benchmark::DoNotOptimize(r->items.front());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CpuBitonic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mptopk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Reproduces paper Figure 14: RadixSelect vs BitonicTopK on key+value (KV),
+// two-keys+value (KKV) and three-keys+value (KKKV) tuples.
+//
+// Expected: both methods grow roughly linearly in tuple width (more bytes
+// to move); the bitonic-vs-radix cutoff stays at the same k across widths.
+#include "bench/bench_util.h"
+
+namespace mptopk::bench {
+namespace {
+
+template <typename E>
+std::vector<E> MakeTuples(size_t n, uint64_t seed);
+
+template <>
+std::vector<KV> MakeTuples(size_t n, uint64_t seed) {
+  auto keys = GenerateFloats(n, Distribution::kUniform, seed);
+  std::vector<KV> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = KV{keys[i], static_cast<uint32_t>(i)};
+  }
+  return out;
+}
+
+template <>
+std::vector<KKV> MakeTuples(size_t n, uint64_t seed) {
+  auto k1 = GenerateFloats(n, Distribution::kUniform, seed);
+  auto k2 = GenerateFloats(n, Distribution::kUniform, seed + 1);
+  std::vector<KKV> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = KKV{k1[i], k2[i], static_cast<uint32_t>(i)};
+  }
+  return out;
+}
+
+template <>
+std::vector<KKKV> MakeTuples(size_t n, uint64_t seed) {
+  auto k1 = GenerateFloats(n, Distribution::kUniform, seed);
+  auto k2 = GenerateFloats(n, Distribution::kUniform, seed + 1);
+  auto k3 = GenerateFloats(n, Distribution::kUniform, seed + 2);
+  std::vector<KKKV> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = KKKV{k1[i], k2[i], k3[i], static_cast<uint32_t>(i)};
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags, "20");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    flags.PrintHelp(argv[0]);
+    return 0;
+  }
+  const size_t n = size_t{1} << flags.GetInt("n_log2");
+  const int ts = static_cast<int>(flags.GetInt("trace_sample"));
+  const uint64_t seed = flags.GetInt("seed");
+
+  std::printf("# Figure 14: key+value tuple widths, n=2^%lld "
+              "(simulated ms)\n",
+              static_cast<long long>(flags.GetInt("n_log2")));
+  TablePrinter table({"k", "RadixSel KV", "Bitonic KV", "RadixSel KKV",
+                      "Bitonic KKV", "RadixSel KKKV", "Bitonic KKKV"});
+  auto kv = MakeTuples<KV>(n, seed);
+  auto kkv = MakeTuples<KKV>(n, seed);
+  auto kkkv = MakeTuples<KKKV>(n, seed);
+  for (size_t k : PowersOfTwo(1, 1024)) {
+    table.AddRow({
+        std::to_string(k),
+        TablePrinter::Cell(RunGpu(gpu::Algorithm::kRadixSelect, kv, k, ts), 3),
+        TablePrinter::Cell(RunGpu(gpu::Algorithm::kBitonic, kv, k, ts), 3),
+        TablePrinter::Cell(RunGpu(gpu::Algorithm::kRadixSelect, kkv, k, ts),
+                           3),
+        TablePrinter::Cell(RunGpu(gpu::Algorithm::kBitonic, kkv, k, ts), 3),
+        TablePrinter::Cell(RunGpu(gpu::Algorithm::kRadixSelect, kkkv, k, ts),
+                           3),
+        TablePrinter::Cell(RunGpu(gpu::Algorithm::kBitonic, kkkv, k, ts), 3),
+    });
+  }
+  PrintTable(table, flags.GetBool("csv"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace mptopk::bench
+
+int main(int argc, char** argv) { return mptopk::bench::Main(argc, argv); }

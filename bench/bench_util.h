@@ -1,0 +1,71 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each binary regenerates one table/figure of the paper's evaluation
+// (Section 6/7); see DESIGN.md's experiment index. GPU numbers are
+// simulated milliseconds from the SIMT device model (deterministic);
+// CPU numbers are host wall-clock. Default input sizes are scaled down
+// from the paper's 2^29 so every bench runs in seconds — pass --n_log2
+// to raise them; shapes are size-stable (Figure 13 covers scaling).
+#ifndef MPTOPK_BENCH_BENCH_UTIL_H_
+#define MPTOPK_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/distributions.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "gputopk/topk.h"
+
+namespace mptopk::bench {
+
+inline constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Standard flags shared by the GPU benches.
+inline void DefineCommonFlags(Flags* flags, const char* default_n_log2) {
+  flags->Define("n_log2", default_n_log2,
+                "log2 of the input size (paper uses 29)");
+  flags->Define("csv", "false", "emit CSV instead of an aligned table");
+  flags->Define("trace_sample", "32",
+                "blocks traced per kernel launch (0 = all, exact)");
+  flags->Define("seed", "42", "data generator seed");
+}
+
+/// Runs one GPU algorithm on host data, returning simulated kernel ms
+/// (NaN when the algorithm cannot run at this configuration, e.g.
+/// per-thread top-k beyond its shared-memory limit -- rendered as '-').
+template <typename E>
+double RunGpu(gpu::Algorithm algo, const std::vector<E>& data, size_t k,
+              int trace_sample) {
+  simt::Device dev;
+  dev.set_trace_sample_target(trace_sample);
+  auto r = gpu::TopK(dev, data.data(), data.size(), k, algo);
+  if (!r.ok()) return kNaN;
+  return r->kernel_ms;
+}
+
+/// The paper's "Memory Bandwidth" floor: time to read the data once.
+inline double BandwidthFloorMs(size_t bytes) {
+  return static_cast<double>(bytes) /
+         (simt::DeviceSpec::TitanXMaxwell().global_bw_gbps * 1e9) * 1e3;
+}
+
+inline void PrintTable(TablePrinter& table, bool csv) {
+  if (csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+}
+
+inline std::vector<size_t> PowersOfTwo(size_t lo, size_t hi) {
+  std::vector<size_t> v;
+  for (size_t k = lo; k <= hi; k <<= 1) v.push_back(k);
+  return v;
+}
+
+}  // namespace mptopk::bench
+
+#endif  // MPTOPK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,53 @@
+// Reproduces paper Figure 13: top-64 across data sizes (paper: 2^21..2^29
+// floats; scaled default 2^16..2^22, override with --max_log2 / --min_log2).
+//
+// Expected shapes: Bitonic and Sort linear in n; Radix/Bucket Select
+// flattening at small n where the constant prefix-sum / pass overheads
+// dominate; PerThread's bulge where per-thread streams are short.
+#include "bench/bench_util.h"
+
+namespace mptopk::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags, "20");
+  flags.Define("min_log2", "16", "smallest input size (log2)");
+  flags.Define("max_log2", "22", "largest input size (log2)");
+  flags.Define("k", "64", "result size (paper fixes k=64)");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    flags.PrintHelp(argv[0]);
+    return 0;
+  }
+  const int ts = static_cast<int>(flags.GetInt("trace_sample"));
+  const size_t k = flags.GetInt("k");
+
+  std::printf("# Figure 13: top-%zu vs data size, uniform floats "
+              "(simulated ms)\n", k);
+  TablePrinter table({"log2(n)", "Sort", "PerThread", "RadixSelect",
+                      "BucketSelect", "BitonicTopK"});
+  for (int64_t lg = flags.GetInt("min_log2"); lg <= flags.GetInt("max_log2");
+       ++lg) {
+    const size_t n = size_t{1} << lg;
+    auto data = GenerateFloats(n, Distribution::kUniform, flags.GetInt("seed"));
+    std::vector<std::string> row{std::to_string(lg)};
+    for (gpu::Algorithm a :
+         {gpu::Algorithm::kSort, gpu::Algorithm::kPerThread,
+          gpu::Algorithm::kRadixSelect, gpu::Algorithm::kBucketSelect,
+          gpu::Algorithm::kBitonic}) {
+      row.push_back(TablePrinter::Cell(RunGpu(a, data, k, ts), 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  PrintTable(table, flags.GetBool("csv"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace mptopk::bench
+
+int main(int argc, char** argv) { return mptopk::bench::Main(argc, argv); }

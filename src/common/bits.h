@@ -1,0 +1,55 @@
+// Bit-manipulation helpers used across the library (power-of-two math for
+// bitonic networks, digit extraction for radix algorithms).
+#ifndef MPTOPK_COMMON_BITS_H_
+#define MPTOPK_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace mptopk {
+
+/// True iff x is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x > 0.
+constexpr int Log2Floor(uint64_t x) { return 63 - std::countl_zero(x); }
+
+/// ceil(log2(x)) for x > 0.
+constexpr int Log2Ceil(uint64_t x) {
+  return x <= 1 ? 0 : Log2Floor(x - 1) + 1;
+}
+
+/// Smallest power of two >= x (x > 0).
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  return x <= 1 ? 1 : uint64_t{1} << Log2Ceil(x);
+}
+
+/// Rounds x up to the next multiple of `multiple` (multiple > 0).
+constexpr uint64_t RoundUp(uint64_t x, uint64_t multiple) {
+  return (x + multiple - 1) / multiple * multiple;
+}
+
+/// Integer division rounding up.
+constexpr uint64_t CeilDiv(uint64_t x, uint64_t y) { return (x + y - 1) / y; }
+
+/// Extracts the `digit_bits`-wide digit at position `digit` (0 = least
+/// significant) from key. Used by LSD radix sort.
+template <typename U>
+constexpr uint32_t ExtractDigitLsd(U key, int digit, int digit_bits) {
+  return static_cast<uint32_t>((key >> (digit * digit_bits)) &
+                               ((U{1} << digit_bits) - 1));
+}
+
+/// Extracts the `digit_bits`-wide digit at position `digit` counted from the
+/// most significant end (0 = most significant). Used by MSD radix select.
+template <typename U>
+constexpr uint32_t ExtractDigitMsd(U key, int digit, int digit_bits) {
+  const int total_bits = static_cast<int>(sizeof(U) * 8);
+  const int shift = total_bits - (digit + 1) * digit_bits;
+  return static_cast<uint32_t>((key >> shift) & ((U{1} << digit_bits) - 1));
+}
+
+}  // namespace mptopk
+
+#endif  // MPTOPK_COMMON_BITS_H_

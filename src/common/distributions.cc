@@ -1,0 +1,115 @@
+#include "common/distributions.h"
+
+#include <algorithm>
+#include <bit>
+#include <random>
+
+namespace mptopk {
+
+StatusOr<Distribution> ParseDistribution(const std::string& name) {
+  if (name == "uniform") return Distribution::kUniform;
+  if (name == "increasing") return Distribution::kIncreasing;
+  if (name == "decreasing") return Distribution::kDecreasing;
+  if (name == "bucket_killer") return Distribution::kBucketKiller;
+  return Status::InvalidArgument("unknown distribution: " + name);
+}
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kIncreasing:
+      return "increasing";
+    case Distribution::kDecreasing:
+      return "decreasing";
+    case Distribution::kBucketKiller:
+      return "bucket_killer";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The paper's bucket-killer input: every key is 1.0 except a handful that
+// each differ from 1.0 in exactly one 8-bit digit of the bit pattern. An MSD
+// radix pass then eliminates at most one key per pass, so radix select
+// degenerates to full-sort cost.
+template <typename T, typename U>
+std::vector<T> BucketKiller(size_t n, uint64_t seed) {
+  std::vector<T> out(n, T(1));
+  const U one_bits = std::bit_cast<U>(T(1));
+  const int digits = static_cast<int>(sizeof(U));
+  std::mt19937_64 rng(seed);
+  // One modified key per 8-bit digit, placed at random positions.
+  for (int d = 0; d < digits && static_cast<size_t>(d) < n; ++d) {
+    U mod = one_bits ^ (U{0x01} << (8 * d));
+    size_t pos = rng() % n;
+    out[pos] = std::bit_cast<T>(mod);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> GenerateFloats(size_t n, Distribution d, uint64_t seed) {
+  if (d == Distribution::kBucketKiller) {
+    return BucketKiller<float, uint32_t>(n, seed);
+  }
+  std::vector<float> out(n);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  for (auto& v : out) v = dist(rng);
+  if (d == Distribution::kIncreasing) std::sort(out.begin(), out.end());
+  if (d == Distribution::kDecreasing) {
+    std::sort(out.begin(), out.end(), std::greater<float>());
+  }
+  return out;
+}
+
+std::vector<double> GenerateDoubles(size_t n, Distribution d, uint64_t seed) {
+  if (d == Distribution::kBucketKiller) {
+    return BucketKiller<double, uint64_t>(n, seed);
+  }
+  std::vector<double> out(n);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (auto& v : out) v = dist(rng);
+  if (d == Distribution::kIncreasing) std::sort(out.begin(), out.end());
+  if (d == Distribution::kDecreasing) {
+    std::sort(out.begin(), out.end(), std::greater<double>());
+  }
+  return out;
+}
+
+std::vector<uint32_t> GenerateU32(size_t n, Distribution d, uint64_t seed) {
+  std::vector<uint32_t> out(n);
+  std::mt19937_64 rng(seed);
+  if (d == Distribution::kBucketKiller) {
+    std::fill(out.begin(), out.end(), 0xFFFF0000u);
+    for (int dg = 0; dg < 4 && static_cast<size_t>(dg) < n; ++dg) {
+      out[rng() % n] = 0xFFFF0000u ^ (0x01u << (8 * dg));
+    }
+    return out;
+  }
+  for (auto& v : out) v = static_cast<uint32_t>(rng());
+  if (d == Distribution::kIncreasing) std::sort(out.begin(), out.end());
+  if (d == Distribution::kDecreasing) {
+    std::sort(out.begin(), out.end(), std::greater<uint32_t>());
+  }
+  return out;
+}
+
+std::vector<int32_t> GenerateI32(size_t n, Distribution d, uint64_t seed) {
+  std::vector<uint32_t> u = GenerateU32(n, d, seed);
+  std::vector<int32_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<int32_t>(u[i] ^ 0x80000000u);
+  }
+  if (d == Distribution::kIncreasing) std::sort(out.begin(), out.end());
+  if (d == Distribution::kDecreasing) {
+    std::sort(out.begin(), out.end(), std::greater<int32_t>());
+  }
+  return out;
+}
+
+}  // namespace mptopk

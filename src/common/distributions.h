@@ -1,0 +1,48 @@
+// Synthetic data generators matching the paper's evaluation workloads
+// (Section 6): uniform floats U(0,1), uniform u32, uniform doubles, sorted
+// increasing / decreasing variants, and the adversarial "bucket killer"
+// distribution of Section 6.4.
+#ifndef MPTOPK_COMMON_DISTRIBUTIONS_H_
+#define MPTOPK_COMMON_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mptopk {
+
+enum class Distribution {
+  kUniform,      // U(0,1) floats / U(0, 2^w-1) ints
+  kIncreasing,   // uniform, sorted ascending (per-thread-heap worst case)
+  kDecreasing,   // uniform, sorted descending
+  kBucketKiller, // all 1.0f except 4 values each differing in one 8-bit digit
+                 // (radix-select worst case, Section 6.4)
+};
+
+/// Parses a distribution name ("uniform", "increasing", "decreasing",
+/// "bucket_killer"); returns InvalidArgument for anything else.
+StatusOr<Distribution> ParseDistribution(const std::string& name);
+
+/// Returns the canonical name of a distribution.
+const char* DistributionName(Distribution d);
+
+/// Generates `n` float keys from the given distribution. `seed` makes runs
+/// reproducible.
+std::vector<float> GenerateFloats(size_t n, Distribution d, uint64_t seed = 42);
+
+/// Generates `n` double keys (bucket-killer uses 8-bit digits of the 64-bit
+/// pattern).
+std::vector<double> GenerateDoubles(size_t n, Distribution d,
+                                    uint64_t seed = 42);
+
+/// Generates `n` uint32 keys drawn from U(0, 2^32 - 1).
+std::vector<uint32_t> GenerateU32(size_t n, Distribution d, uint64_t seed = 42);
+
+/// Generates `n` int32 keys (full range, uniform-based distributions).
+std::vector<int32_t> GenerateI32(size_t n, Distribution d, uint64_t seed = 42);
+
+}  // namespace mptopk
+
+#endif  // MPTOPK_COMMON_DISTRIBUTIONS_H_

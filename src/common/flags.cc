@@ -1,0 +1,77 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mptopk {
+
+void Flags::Define(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  flags_[name] = FlagDef{default_value, default_value, help};
+}
+
+Status Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name, value;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      auto it = flags_.find(name);
+      if (it == flags_.end()) {
+        return Status::InvalidArgument("unknown flag --" + name);
+      }
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    it->second.value = value;
+  }
+  return Status::OK();
+}
+
+void Flags::PrintHelp(const std::string& program) const {
+  std::printf("Usage: %s [flags]\n", program.c_str());
+  for (const auto& [name, def] : flags_) {
+    std::printf("  --%-24s %s (default: %s)\n", name.c_str(), def.help.c_str(),
+                def.default_value.empty() ? "\"\"" : def.default_value.c_str());
+  }
+}
+
+std::string Flags::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? "" : it->second.value;
+}
+
+int64_t Flags::GetInt(const std::string& name) const {
+  return std::strtoll(GetString(name).c_str(), nullptr, 0);
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  std::string v = GetString(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+}  // namespace mptopk

@@ -1,0 +1,49 @@
+// Minimal command-line flag parser for the benchmark and example binaries.
+// Supports --name=value and --name value forms plus --help text.
+#ifndef MPTOPK_COMMON_FLAGS_H_
+#define MPTOPK_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mptopk {
+
+class Flags {
+ public:
+  /// Registers a flag with a default value and help text. Call before Parse.
+  void Define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv; returns InvalidArgument on unknown flags or missing values.
+  /// Positional arguments are collected into positional().
+  Status Parse(int argc, char** argv);
+
+  /// True if --help was passed; PrintHelp() then shows usage.
+  bool help_requested() const { return help_requested_; }
+  void PrintHelp(const std::string& program) const;
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  struct FlagDef {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, FlagDef> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace mptopk
+
+#endif  // MPTOPK_COMMON_FLAGS_H_

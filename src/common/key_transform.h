@@ -1,0 +1,106 @@
+// Order-preserving transforms from comparable key types to unsigned integer
+// bit patterns, and back.
+//
+// Radix-based algorithms (radix sort, radix select) operate on unsigned
+// digits. To support signed integers and IEEE-754 floats with the same
+// machinery, keys are mapped to unsigned values such that
+//   a < b  <=>  ToOrderedBits(a) < ToOrderedBits(b).
+//
+// * unsigned ints: identity.
+// * signed ints: flip the sign bit (two's-complement bias).
+// * floats/doubles: flip the sign bit for non-negatives, flip all bits for
+//   negatives (the classic "radix-sortable float" trick). Total order over
+//   all non-NaN values, with -0.0 < +0.0.
+#ifndef MPTOPK_COMMON_KEY_TRANSFORM_H_
+#define MPTOPK_COMMON_KEY_TRANSFORM_H_
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace mptopk {
+
+template <typename T>
+struct KeyTraits;
+
+template <>
+struct KeyTraits<uint32_t> {
+  using Unsigned = uint32_t;
+  static constexpr Unsigned ToOrderedBits(uint32_t v) { return v; }
+  static constexpr uint32_t FromOrderedBits(Unsigned u) { return u; }
+  static constexpr uint32_t Lowest() { return 0; }
+};
+
+template <>
+struct KeyTraits<uint64_t> {
+  using Unsigned = uint64_t;
+  static constexpr Unsigned ToOrderedBits(uint64_t v) { return v; }
+  static constexpr uint64_t FromOrderedBits(Unsigned u) { return u; }
+  static constexpr uint64_t Lowest() { return 0; }
+};
+
+template <>
+struct KeyTraits<int32_t> {
+  using Unsigned = uint32_t;
+  static constexpr Unsigned ToOrderedBits(int32_t v) {
+    return static_cast<uint32_t>(v) ^ 0x80000000u;
+  }
+  static constexpr int32_t FromOrderedBits(Unsigned u) {
+    return static_cast<int32_t>(u ^ 0x80000000u);
+  }
+  static constexpr int32_t Lowest() { return INT32_MIN; }
+};
+
+template <>
+struct KeyTraits<int64_t> {
+  using Unsigned = uint64_t;
+  static constexpr Unsigned ToOrderedBits(int64_t v) {
+    return static_cast<uint64_t>(v) ^ 0x8000000000000000ull;
+  }
+  static constexpr int64_t FromOrderedBits(Unsigned u) {
+    return static_cast<int64_t>(u ^ 0x8000000000000000ull);
+  }
+  static constexpr int64_t Lowest() { return INT64_MIN; }
+};
+
+template <>
+struct KeyTraits<float> {
+  using Unsigned = uint32_t;
+  static Unsigned ToOrderedBits(float v) {
+    uint32_t bits = std::bit_cast<uint32_t>(v);
+    return (bits & 0x80000000u) ? ~bits : (bits | 0x80000000u);
+  }
+  static float FromOrderedBits(Unsigned u) {
+    uint32_t bits = (u & 0x80000000u) ? (u & 0x7FFFFFFFu) : ~u;
+    return std::bit_cast<float>(bits);
+  }
+  static constexpr float Lowest() { return -3.402823466e+38f; }
+};
+
+template <>
+struct KeyTraits<double> {
+  using Unsigned = uint64_t;
+  static Unsigned ToOrderedBits(double v) {
+    uint64_t bits = std::bit_cast<uint64_t>(v);
+    return (bits & 0x8000000000000000ull) ? ~bits
+                                          : (bits | 0x8000000000000000ull);
+  }
+  static double FromOrderedBits(Unsigned u) {
+    uint64_t bits =
+        (u & 0x8000000000000000ull) ? (u & 0x7FFFFFFFFFFFFFFFull) : ~u;
+    return std::bit_cast<double>(bits);
+  }
+  static constexpr double Lowest() { return -1.7976931348623157e+308; }
+};
+
+/// Concept for types usable as top-k sort keys.
+template <typename T>
+concept SortableKey = requires(T v, typename KeyTraits<T>::Unsigned u) {
+  { KeyTraits<T>::ToOrderedBits(v) } -> std::same_as<typename KeyTraits<T>::Unsigned>;
+  { KeyTraits<T>::FromOrderedBits(u) } -> std::same_as<T>;
+  { KeyTraits<T>::Lowest() } -> std::same_as<T>;
+};
+
+}  // namespace mptopk
+
+#endif  // MPTOPK_COMMON_KEY_TRANSFORM_H_

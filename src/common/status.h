@@ -1,0 +1,128 @@
+// Lightweight Status / StatusOr error-handling primitives.
+//
+// Fallible library APIs return Status (or StatusOr<T>) instead of throwing;
+// this mirrors the error-handling style of Arrow / RocksDB. The set of codes
+// is deliberately small: the library mostly fails on resource exhaustion
+// (e.g. the per-thread top-k heap exceeding device shared memory, paper
+// Section 4.1) or invalid arguments (non-power-of-two k, k > n, ...).
+#ifndef MPTOPK_COMMON_STATUS_H_
+#define MPTOPK_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mptopk {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kResourceExhausted,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus a context message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. `value()` asserts on error;
+/// check `ok()` (or `status()`) first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK Status from an expression to the caller.
+#define MPTOPK_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::mptopk::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+// Evaluates a StatusOr expression, propagating errors, else binds the value.
+#define MPTOPK_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto MPTOPK_CONCAT_(_so_, __LINE__) = (expr);             \
+  if (!MPTOPK_CONCAT_(_so_, __LINE__).ok())                 \
+    return MPTOPK_CONCAT_(_so_, __LINE__).status();         \
+  lhs = std::move(MPTOPK_CONCAT_(_so_, __LINE__)).value()
+
+#define MPTOPK_CONCAT_IMPL_(a, b) a##b
+#define MPTOPK_CONCAT_(a, b) MPTOPK_CONCAT_IMPL_(a, b)
+
+}  // namespace mptopk
+
+#endif  // MPTOPK_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+// Aligned-column table printer used by the benchmark harness to emit the
+// paper-style result tables (one row per parameter point, one column per
+// algorithm / series).
+#ifndef MPTOPK_COMMON_TABLE_PRINTER_H_
+#define MPTOPK_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace mptopk {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision, using "-" for
+  /// NaN (e.g. an algorithm that cannot run at this parameter point).
+  static std::string Cell(double value, int precision = 2);
+
+  /// Renders the table (with a separator under the header) to stdout.
+  void Print() const;
+
+  /// Renders the table as CSV (for plotting scripts).
+  void PrintCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mptopk
+
+#endif  // MPTOPK_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,27 @@
+// Wall-clock timer for the CPU-side benchmarks (the GPU side reports
+// simulated time from the SIMT device model instead).
+#ifndef MPTOPK_COMMON_TIMER_H_
+#define MPTOPK_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace mptopk {
+
+class Timer {
+ public:
+  Timer() { Restart(); }
+  void Restart() { start_ = Clock::now(); }
+  /// Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mptopk
+
+#endif  // MPTOPK_COMMON_TIMER_H_

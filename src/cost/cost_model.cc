@@ -1,0 +1,291 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "gputopk/bitonic_plan.h"
+#include "simt/timing_model.h"
+
+namespace mptopk::cost {
+namespace {
+
+constexpr int kBlockDim = 256;
+constexpr double kMs = 1e3;
+
+double Bg(const simt::DeviceSpec& spec) { return spec.global_bw_gbps * 1e9; }
+double Bs(const simt::DeviceSpec& spec) { return spec.shared_bw_gbps * 1e9; }
+double LaunchMs(const simt::DeviceSpec& spec) {
+  return spec.kernel_launch_overhead_us * 1e-3;
+}
+
+}  // namespace
+
+std::vector<double> RadixSelectEtas(const Workload& w) {
+  const int passes = static_cast<int>(w.key_size);
+  std::vector<double> etas(passes);
+  switch (w.dist) {
+    case Distribution::kBucketKiller:
+      // Each pass eliminates exactly one key: the reduction check never
+      // triggers the skip, so every pass reads AND rewrites ~the whole
+      // dataset -- degrading to sort cost (paper Section 6.4).
+      std::fill(etas.begin(), etas.end(), 1.0 - 1e-9);
+      break;
+    case Distribution::kUniform:
+    case Distribution::kIncreasing:
+    case Distribution::kDecreasing:
+      if (w.key_size == 4 && w.elem_size >= 4) {
+        // U(0,1) float keys: the top MSD bucket (exponent of [0.5, 1))
+        // holds about half the data; subsequent digits are uniform.
+        etas[0] = 0.5;
+        for (int i = 1; i < passes; ++i) etas[i] = 1.0 / 256;
+      } else {
+        etas.assign(passes, 1.0 / 256);
+      }
+      if (w.key_size == 8) {
+        // U(0,1) doubles: the first byte is shared by ~all values (skip);
+        // the second byte splits the exponent tail ~1/64.
+        etas[0] = 1.0;
+        etas[1] = 1.0 / 64;
+        for (int i = 2; i < passes; ++i) etas[i] = 1.0 / 256;
+      }
+      break;
+  }
+  return etas;
+}
+
+double RadixSelectCostMs(const simt::DeviceSpec& spec, const Workload& w) {
+  const auto etas = RadixSelectEtas(w);
+  const double bg = Bg(spec);
+  double total_s = 0;
+  double candidates = static_cast<double>(w.n);
+  for (double eta : etas) {
+    if (candidates <= static_cast<double>(w.k)) break;
+    const double d_bytes = candidates * w.elem_size;
+    const double nt =
+        std::min(128.0, std::ceil(candidates / 2048.0)) *
+        kBlockDim;  // bounded grid, matching the implementation
+    // T_i1: read input, write 16 ints of digit counts per thread.
+    const double t1 = d_bytes / bg + 16.0 * 4.0 * nt / bg;
+    // T_i2: prefix sum over the counts.
+    const double t2 = 2.0 * 16.0 * 4.0 * nt / bg;
+    // T_i3: cluster pass, skipped when no reduction.
+    const double t3 =
+        eta >= 1.0 ? 0.0 : d_bytes / bg + eta * d_bytes / bg;
+    total_s += t1 + t2 + t3;
+    candidates = std::max(static_cast<double>(w.k), candidates * eta);
+  }
+  // Three kernels per pass (histogram, scan, cluster).
+  return total_s * kMs + 3 * etas.size() * LaunchMs(spec);
+}
+
+BitonicCostBreakdown BitonicTopKCost(const simt::DeviceSpec& spec,
+                                     const Workload& w) {
+  BitonicCostBreakdown out;
+  const double bg = Bg(spec);
+  const double bs = Bs(spec);
+  const size_t es = w.elem_size;
+
+  // Geometry, mirroring ResolveGeometry: B = 16, block shrunk to fit shared.
+  const int B = 16;
+  int nt = 256;
+  auto shared_elems = [](size_t t) { return t + (t >> 5) + 1; };
+  while (nt > 32 &&
+         shared_elems(static_cast<size_t>(nt) * B) * es >
+             spec.shared_mem_per_block) {
+    nt >>= 1;
+  }
+  const size_t tile = static_cast<size_t>(nt) * B;
+  const int merges = std::min(Log2Floor(static_cast<uint64_t>(B)),
+                              Log2Floor(std::max<size_t>(2, tile / w.k)));
+  const int wb = 4;  // window budget bits for B = 16
+
+  // Weighted shared accesses per element for a window list: 2 accesses
+  // (read + write), doubled for strided windows (residual conflicts).
+  auto window_cost = [&](const std::vector<gpu::BitonicWindow>& ws) {
+    double c = 0;
+    for (const auto& win : ws) c += win.strided() ? 4.0 : 2.0;
+    return c;
+  };
+  const auto local_windows =
+      gpu::PlanBitonicWindows(gpu::BitonicLocalSortSteps(w.k), wb);
+  const auto rebuild_windows =
+      gpu::PlanBitonicWindows(gpu::BitonicRebuildSteps(w.k), wb);
+  const double local_cost = window_cost(local_windows);
+  const double rebuild_cost = window_cost(rebuild_windows);
+
+  // SortReducer shared traffic per input element, in accesses:
+  //   load(1) + local sort + merges (1.5 per surviving element) +
+  //   rebuilds between merges + store(1/2^merges).
+  double per_elem = 1.0 + local_cost;
+  double frac = 1.0;
+  for (int m = 0; m < merges; ++m) {
+    per_elem += 1.5 * frac;
+    frac /= 2;
+    if (m + 1 < merges) per_elem += rebuild_cost * frac;
+  }
+  per_elem += frac;  // store
+  out.shared_traffic_in_d = per_elem;
+
+  const double d_bytes = static_cast<double>(w.n) * es;
+  const int red = 1 << merges;  // per-kernel reduction factor
+  out.sort_reducer_global_ms =
+      (d_bytes + d_bytes / red) / bg * kMs;
+  out.sort_reducer_shared_ms = per_elem * d_bytes / bs * kMs;
+  out.total_ms =
+      std::max(out.sort_reducer_global_ms, out.sort_reducer_shared_ms) +
+      LaunchMs(spec);
+
+  // BitonicReducer chain + final kernel: same structure with rebuild first.
+  double reducer_per_elem = 1.0 + 1.0 / red;  // load + store
+  frac = 1.0;
+  for (int m = 0; m < merges; ++m) {
+    reducer_per_elem += rebuild_cost * frac + 1.5 * frac;
+    frac /= 2;
+  }
+  double m_cur = static_cast<double>(w.n) / red;
+  while (m_cur > static_cast<double>(tile)) {
+    double bytes = m_cur * es;
+    double tg = (bytes + bytes / red) / bg;
+    double ts = reducer_per_elem * bytes / bs;
+    out.reducer_tail_ms += std::max(tg, ts) * kMs + LaunchMs(spec);
+    m_cur /= red;
+  }
+  // Final single-block kernel: dominated by launch overhead at realistic n.
+  out.reducer_tail_ms += LaunchMs(spec);
+  out.total_ms += out.reducer_tail_ms;
+  return out;
+}
+
+double BitonicTopKCostMs(const simt::DeviceSpec& spec, const Workload& w) {
+  return BitonicTopKCost(spec, w).total_ms;
+}
+
+double SortCostMs(const simt::DeviceSpec& spec, const Workload& w) {
+  const int passes = static_cast<int>(w.key_size);
+  const double d_bytes = static_cast<double>(w.n) * w.elem_size;
+  // Per pass: histogram read + scatter read + scatter write, global-bound
+  // (shared staging traffic ~8 accesses/elem stays under the global time).
+  const double global_s = passes * 3.0 * d_bytes / Bg(spec);
+  const double shared_s =
+      passes * 8.0 * d_bytes / Bs(spec);
+  return std::max(global_s, shared_s) * kMs + 3 * passes * LaunchMs(spec);
+}
+
+double BucketSelectCostMs(const simt::DeviceSpec& spec, const Workload& w) {
+  const double bg = Bg(spec);
+  const double bs = Bs(spec);
+  double total_s = static_cast<double>(w.n) * w.elem_size / bg;  // min/max
+  if (w.k == 1) return total_s * kMs + 2 * LaunchMs(spec);
+  double candidates = static_cast<double>(w.n);
+  const double eta = w.dist == Distribution::kBucketKiller ? 1.0 : 1.0 / 16;
+  int passes = 0;
+  while (candidates > static_cast<double>(w.k) && passes < 16) {
+    const double bytes = candidates * w.elem_size;
+    // Histogram read + cluster read&write, plus heavily contended 16-bin
+    // shared atomics (approx. 4 colliding lanes * cost factor 4 -> ~16
+    // bank-cycles per 32 elements).
+    const double t_global = (2.0 + eta) * bytes / bg;
+    const double t_atomics =
+        candidates * 16.0 * spec.shared_atomic_cost_factor / bs;
+    total_s += t_global + t_atomics;
+    candidates = std::max(static_cast<double>(w.k), candidates * eta);
+    ++passes;
+  }
+  return total_s * kMs + 3 * passes * LaunchMs(spec);
+}
+
+double PerThreadCostMs(const simt::DeviceSpec& spec, const Workload& w) {
+  // Block size shrinks with k to fit the heaps in shared memory.
+  int nt = 256;
+  while (nt >= 32 &&
+         w.k * w.elem_size * nt > spec.shared_mem_per_block) {
+    nt >>= 1;
+  }
+  if (nt < 32) return -1.0;  // infeasible (paper Section 4.1)
+
+  const double bg = Bg(spec);
+  const double bs = Bs(spec);
+  const int max_threads = spec.num_sms * spec.max_threads_per_sm;
+  const int log_k = std::max(1, Log2Ceil(w.k));
+  // Warp slots per heap update: ~2 accesses per sift level plus the root
+  // write, inflated ~1.5x by SIMT misalignment of divergent lanes.
+  const double update_slots = 1.5 * (2.0 * log_k + 1.0);
+
+  double total_s = 0;
+  double m = static_cast<double>(w.n);
+  const double threshold = std::max(64.0 * w.k, 4096.0);
+  // Reduction pass chain, mirroring the implementation's geometry.
+  while (m > threshold) {
+    double want = m / (16.0 * w.k);
+    int grid = static_cast<int>(
+        std::clamp(std::ceil(want / nt), 1.0,
+                   static_cast<double>(max_threads / nt)));
+    double threads = static_cast<double>(grid) * nt;
+    if (threads * w.k >= m) break;
+    simt::Occupancy occ = simt::ComputeOccupancy(
+        spec, simt::KernelResources{grid, nt, 32,
+                                    w.k * w.elem_size * nt});
+    const double eff = std::max(occ.bw_efficiency, 1e-3);
+    const double sh_eff = std::max(
+        occ.shared_efficiency * occ.sm_utilization, 1e-3);
+
+    double per_thread = m / threads;
+    double inserts;
+    switch (w.dist) {
+      case Distribution::kIncreasing:
+        inserts = per_thread;  // every element updates the heap
+        break;
+      case Distribution::kDecreasing:
+        inserts = static_cast<double>(w.k);
+        break;
+      default:
+        // Expected updates of a random stream: k * (ln(m/k) + 1).
+        inserts = w.k * (std::log(std::max(1.0, per_thread / w.k)) + 1.0);
+    }
+    const double t_global = m * w.elem_size / (bg * eff);
+    const double probe_slots = m / 32.0;
+    const double insert_slots = threads / 32.0 * inserts * update_slots;
+    const double t_shared = (probe_slots + insert_slots) * 128.0 /
+                            (bs * sh_eff);
+    // Dependent-latency exposure of the sift chains (matches the
+    // simulator's dependent_stall_cycles pricing).
+    const double dep_cycles = threads * inserts * 2.0 * log_k *
+                              spec.dependent_access_latency_cycles;
+    const double t_dep =
+        dep_cycles / (spec.clock_ghz * 1e9) /
+        (spec.num_sms * std::max(occ.sm_utilization, 1e-3) *
+         std::max(1.0, static_cast<double>(occ.resident_warps)));
+    total_s += std::max(t_global, t_shared) + t_dep;
+    m = threads * w.k;
+  }
+  // Final single-block kernel: one warp reads m elements, then a serial
+  // merge of the surviving heaps.
+  total_s += m * w.elem_size / (bg / 16.0) + 32.0 * w.k * update_slots /
+                                                 (bs / 128.0 / 96.0);
+  int passes = 2 + static_cast<int>(
+                       std::log(std::max(2.0, static_cast<double>(w.n) / m)) /
+                       std::log(16.0));
+  return total_s * kMs + passes * LaunchMs(spec);
+}
+
+double HybridCostMs(const simt::DeviceSpec& spec, const Workload& w) {
+  const double bg = Bg(spec);
+  const size_t sample = 16384;
+  if (w.n <= 4 * sample) return BitonicTopKCostMs(spec, w);
+  if (w.dist == Distribution::kBucketKiller) {
+    // Non-discriminating pivot: wasted sample + filter, then full bitonic.
+    return BitonicTopKCostMs(spec, w) +
+           static_cast<double>(w.n) * w.elem_size / bg * kMs +
+           4 * LaunchMs(spec);
+  }
+  // Sample read (one 32B sector per strided element) + filter read +
+  // candidate writes + two tiny bitonic runs (~launch overheads).
+  const double sample_s = sample * 32.0 / bg;
+  const double filter_s = static_cast<double>(w.n) * w.elem_size / bg;
+  const double cand = std::max<double>(32.0 * w.n / sample, 4.0 * w.k);
+  const double tail_s = 2.0 * cand * w.elem_size / bg;
+  return (sample_s + filter_s + tail_s) * kMs + 6 * LaunchMs(spec);
+}
+
+}  // namespace mptopk::cost

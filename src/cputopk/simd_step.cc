@@ -1,0 +1,63 @@
+#include "cputopk/simd_step.h"
+
+#include <utility>
+
+#if defined(__SSE2__) || defined(__x86_64__)
+#include <emmintrin.h>
+#define MPTOPK_HAVE_SSE2 1
+#endif
+
+namespace mptopk::cpu {
+namespace {
+
+void StepFloatScalar(float* v, size_t m, uint32_t dir, uint32_t inc) {
+  for (size_t p = 0; p < m / 2; ++p) {
+    size_t low = p & (inc - 1);
+    size_t i = (p << 1) - low;
+    bool ascending = (i & dir) == 0;
+    if (ascending != (v[i] < v[i + inc])) std::swap(v[i], v[i + inc]);
+  }
+}
+
+#ifdef MPTOPK_HAVE_SSE2
+void StepFloatSse(float* v, size_t m, uint32_t dir, uint32_t inc) {
+  for (size_t block = 0; block < m; block += 2 * inc) {
+    bool ascending = (block & dir) == 0;
+    for (size_t i = block; i < block + inc; i += 4) {
+      __m128 a = _mm_loadu_ps(v + i);
+      __m128 b = _mm_loadu_ps(v + i + inc);
+      __m128 lo = _mm_min_ps(a, b);
+      __m128 hi = _mm_max_ps(a, b);
+      _mm_storeu_ps(v + i, ascending ? lo : hi);
+      _mm_storeu_ps(v + i + inc, ascending ? hi : lo);
+    }
+  }
+}
+#endif
+
+}  // namespace
+
+bool HasAvx2() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+void StepFloatSimd(float* v, size_t m, uint32_t dir, uint32_t inc) {
+  static const bool avx2 = HasAvx2();
+  if (avx2 && inc >= 8) {
+    StepFloatAvx2(v, m, dir, inc);
+    return;
+  }
+#ifdef MPTOPK_HAVE_SSE2
+  if (inc >= 4) {
+    StepFloatSse(v, m, dir, inc);
+    return;
+  }
+#endif
+  StepFloatScalar(v, m, dir, inc);
+}
+
+}  // namespace mptopk::cpu

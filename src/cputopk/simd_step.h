@@ -1,0 +1,32 @@
+// Vectorized compare-exchange step kernels for the CPU bitonic top-k
+// (paper Appendix C: "bitonic top-k could be better on platforms with
+// wider vector instruction support ... we plan to explore this").
+//
+// Two float implementations behind one dispatch:
+//   * SSE2 (4-wide), compiled unconditionally on x86-64;
+//   * AVX2 (8-wide), compiled in a separate -mavx2 TU and selected at
+//     runtime via cpuid, so the binary stays portable.
+#ifndef MPTOPK_CPUTOPK_SIMD_STEP_H_
+#define MPTOPK_CPUTOPK_SIMD_STEP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mptopk::cpu {
+
+/// One bitonic compare-exchange step over v[0, m) with comparison distance
+/// `inc` and direction mask `dir`, using the widest vector unit available
+/// at runtime (AVX2 when the CPU has it and inc >= 8, else SSE2 when
+/// inc >= 4, else scalar). Semantics identical to the scalar step.
+void StepFloatSimd(float* v, size_t m, uint32_t dir, uint32_t inc);
+
+/// True if the AVX2 path is compiled in and the CPU supports it.
+bool HasAvx2();
+
+// Internal: the AVX2 kernel (defined in simd_step_avx2.cc, only safe to
+// call when HasAvx2()). Requires inc >= 8.
+void StepFloatAvx2(float* v, size_t m, uint32_t dir, uint32_t inc);
+
+}  // namespace mptopk::cpu
+
+#endif  // MPTOPK_CPUTOPK_SIMD_STEP_H_

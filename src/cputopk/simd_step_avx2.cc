@@ -1,0 +1,33 @@
+// AVX2 (8-wide) bitonic compare-exchange step. This translation unit is the
+// only one compiled with -mavx2; callers gate on HasAvx2().
+#include "cputopk/simd_step.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace mptopk::cpu {
+
+#if defined(__AVX2__)
+void StepFloatAvx2(float* v, size_t m, uint32_t dir, uint32_t inc) {
+  for (size_t block = 0; block < m; block += 2 * inc) {
+    bool ascending = (block & dir) == 0;
+    for (size_t i = block; i < block + inc; i += 8) {
+      __m256 a = _mm256_loadu_ps(v + i);
+      __m256 b = _mm256_loadu_ps(v + i + inc);
+      __m256 lo = _mm256_min_ps(a, b);
+      __m256 hi = _mm256_max_ps(a, b);
+      _mm256_storeu_ps(v + i, ascending ? lo : hi);
+      _mm256_storeu_ps(v + i + inc, ascending ? hi : lo);
+    }
+  }
+}
+#else
+void StepFloatAvx2(float* v, size_t m, uint32_t dir, uint32_t inc) {
+  // Fallback when the TU is built without AVX2 (non-x86 targets); callers
+  // gate on HasAvx2() so this is unreachable there.
+  StepFloatSimd(v, m, dir, inc);
+}
+#endif
+
+}  // namespace mptopk::cpu

@@ -1,0 +1,127 @@
+// Top-k query execution over the column store — the paper's MapD
+// integration study (Sections 5 and 6.8).
+//
+// Query shape: SELECT id FROM t WHERE <filter> ORDER BY <ranking> DESC
+// LIMIT k, executed with one of three strategies:
+//
+//  * kFilterSort      : filter/project kernel materializes (rank, row) pairs,
+//                       then a full radix sort picks the top k — MapD's
+//                       default plan in the paper.
+//  * kFilterBitonic   : same materialization, bitonic top-k instead of sort.
+//  * kCombinedBitonic : the Section 5 FusedSortReducer — the filter acts as
+//                       a buffer filler that feeds matched (rank, row) pairs
+//                       directly into the in-shared SortReducer, never
+//                       materializing the filtered column in global memory.
+//
+// And: SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY COUNT(*) DESC LIMIT k
+// (paper query 4), with the count-ordering step done by sort or bitonic
+// top-k.
+#ifndef MPTOPK_ENGINE_QUERY_H_
+#define MPTOPK_ENGINE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace mptopk::engine {
+
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq };
+
+struct FilterClause {
+  std::string column;
+  CompareOp op;
+  double value;
+};
+
+/// A disjunction of clauses: matches when ANY clause matches (e.g.
+/// lang='en' OR lang='es').
+struct Disjunction {
+  std::vector<FilterClause> any_of;
+};
+
+/// Conjunctive normal form: a row matches when EVERY disjunction matches.
+/// No disjunctions = match all. The single-predicate and single-OR filters
+/// of the paper's queries are the 1-disjunction special case; CNF also
+/// expresses e.g. (time < X) AND (lang='en' OR lang='es').
+struct Filter {
+  std::vector<Disjunction> all_of;
+
+  Filter() = default;
+  /// Convenience: a single disjunction (the paper's query shapes).
+  Filter(std::initializer_list<FilterClause> any_of_clauses) {
+    all_of.push_back(Disjunction{any_of_clauses});
+  }
+
+  Filter& And(std::initializer_list<FilterClause> any_of_clauses) {
+    all_of.push_back(Disjunction{any_of_clauses});
+    return *this;
+  }
+};
+
+/// ORDER BY sum(coeff_i * column_i) DESC — the paper's custom ranking
+/// functions (e.g. retweet_count + 0.5 * likes_count).
+struct RankingTerm {
+  std::string column;
+  double coeff;
+};
+struct Ranking {
+  std::vector<RankingTerm> terms;
+};
+
+enum class TopKStrategy { kFilterSort, kFilterBitonic, kCombinedBitonic };
+
+inline const char* StrategyName(TopKStrategy s) {
+  switch (s) {
+    case TopKStrategy::kFilterSort:
+      return "Filter+Sort";
+    case TopKStrategy::kFilterBitonic:
+      return "Filter+BitonicTopK";
+    case TopKStrategy::kCombinedBitonic:
+      return "Combined BitonicTopK";
+  }
+  return "Unknown";
+}
+
+struct QueryResult {
+  /// Values of the id column for the top rows, descending by rank.
+  std::vector<int64_t> ids;
+  std::vector<float> rank_values;
+  size_t matched_rows = 0;
+  /// Simulated device kernel time.
+  double kernel_ms = 0.0;
+  /// kernel_ms plus PCIe staging of the (small) result.
+  double end_to_end_ms = 0.0;
+  int kernels_launched = 0;
+};
+
+/// Runs the filter + order-by-limit query. `id_column` must be kInt64;
+/// ranking columns are read as doubles. Returns min(k, matched) rows.
+StatusOr<QueryResult> FilterTopKQuery(Table& table, const Filter& filter,
+                                      const Ranking& ranking,
+                                      const std::string& id_column, size_t k,
+                                      TopKStrategy strategy);
+
+enum class GroupByStrategy { kSort, kBitonic };
+
+struct GroupByResult {
+  std::vector<int32_t> keys;      // group keys, descending by count
+  std::vector<uint32_t> counts;
+  size_t num_groups = 0;
+  double kernel_ms = 0.0;
+  double groupby_ms = 0.0;  // hash build + group compaction
+  double topk_ms = 0.0;     // the ORDER BY COUNT(*) LIMIT k step
+  int kernels_launched = 0;
+};
+
+/// GROUP BY count + top-k by count (paper query 4). `group_column` must be
+/// kInt32 with non-negative values.
+StatusOr<GroupByResult> GroupByCountTopKQuery(Table& table,
+                                              const std::string& group_column,
+                                              size_t k,
+                                              GroupByStrategy strategy);
+
+}  // namespace mptopk::engine
+
+#endif  // MPTOPK_ENGINE_QUERY_H_

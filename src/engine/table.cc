@@ -1,0 +1,68 @@
+#include "engine/table.h"
+
+namespace mptopk::engine {
+
+Status Table::CheckRowCount(size_t n, const std::string& name) {
+  if (columns_.empty()) {
+    num_rows_ = n;
+    return Status::OK();
+  }
+  if (n != num_rows_) {
+    return Status::InvalidArgument("column '" + name + "' has " +
+                                   std::to_string(n) + " rows, table has " +
+                                   std::to_string(num_rows_));
+  }
+  return Status::OK();
+}
+
+Status Table::AddColumnI32(const std::string& name,
+                           const std::vector<int32_t>& v) {
+  if (columns_.count(name)) {
+    return Status::InvalidArgument("duplicate column '" + name + "'");
+  }
+  MPTOPK_RETURN_NOT_OK(CheckRowCount(v.size(), name));
+  auto col = std::make_unique<Column>();
+  col->type = ColumnType::kInt32;
+  MPTOPK_ASSIGN_OR_RETURN(col->i32, device_->Alloc<int32_t>(v.size()));
+  device_->CopyToDevice(col->i32, v.data(), v.size());
+  columns_[name] = std::move(col);
+  return Status::OK();
+}
+
+Status Table::AddColumnI64(const std::string& name,
+                           const std::vector<int64_t>& v) {
+  if (columns_.count(name)) {
+    return Status::InvalidArgument("duplicate column '" + name + "'");
+  }
+  MPTOPK_RETURN_NOT_OK(CheckRowCount(v.size(), name));
+  auto col = std::make_unique<Column>();
+  col->type = ColumnType::kInt64;
+  MPTOPK_ASSIGN_OR_RETURN(col->i64, device_->Alloc<int64_t>(v.size()));
+  device_->CopyToDevice(col->i64, v.data(), v.size());
+  columns_[name] = std::move(col);
+  return Status::OK();
+}
+
+Status Table::AddColumnF32(const std::string& name,
+                           const std::vector<float>& v) {
+  if (columns_.count(name)) {
+    return Status::InvalidArgument("duplicate column '" + name + "'");
+  }
+  MPTOPK_RETURN_NOT_OK(CheckRowCount(v.size(), name));
+  auto col = std::make_unique<Column>();
+  col->type = ColumnType::kFloat32;
+  MPTOPK_ASSIGN_OR_RETURN(col->f32, device_->Alloc<float>(v.size()));
+  device_->CopyToDevice(col->f32, v.data(), v.size());
+  columns_[name] = std::move(col);
+  return Status::OK();
+}
+
+StatusOr<const Column*> Table::GetColumn(const std::string& name) const {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) {
+    return Status::InvalidArgument("no such column: " + name);
+  }
+  return it->second.get();
+}
+
+}  // namespace mptopk::engine

@@ -1,0 +1,56 @@
+// Minimal device-resident column store used to reproduce the paper's MapD
+// integration study (Sections 5 and 6.8): named typed columns living in
+// simulated GPU global memory, loaded once from host vectors.
+#ifndef MPTOPK_ENGINE_TABLE_H_
+#define MPTOPK_ENGINE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "simt/device.h"
+
+namespace mptopk::engine {
+
+enum class ColumnType { kInt32, kInt64, kFloat32 };
+
+/// One device-resident column. Only the buffer matching `type` is populated.
+struct Column {
+  ColumnType type;
+  simt::DeviceBuffer<int32_t> i32;
+  simt::DeviceBuffer<int64_t> i64;
+  simt::DeviceBuffer<float> f32;
+};
+
+/// A device-resident table: named columns of equal row count.
+class Table {
+ public:
+  explicit Table(simt::Device* device) : device_(device) {}
+
+  Status AddColumnI32(const std::string& name, const std::vector<int32_t>& v);
+  Status AddColumnI64(const std::string& name, const std::vector<int64_t>& v);
+  Status AddColumnF32(const std::string& name, const std::vector<float>& v);
+
+  StatusOr<const Column*> GetColumn(const std::string& name) const;
+  bool HasColumn(const std::string& name) const {
+    return columns_.count(name) > 0;
+  }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  simt::Device* device() const { return device_; }
+
+ private:
+  Status CheckRowCount(size_t n, const std::string& name);
+
+  simt::Device* device_;
+  size_t num_rows_ = 0;
+  std::map<std::string, std::unique_ptr<Column>> columns_;
+};
+
+}  // namespace mptopk::engine
+
+#endif  // MPTOPK_ENGINE_TABLE_H_

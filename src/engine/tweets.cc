@@ -1,0 +1,53 @@
+#include "engine/tweets.h"
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace mptopk::engine {
+
+StatusOr<std::unique_ptr<Table>> MakeTweetsTable(simt::Device* device,
+                                                 size_t rows, uint64_t seed) {
+  if (rows == 0) return Status::InvalidArgument("rows must be positive");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  std::vector<int64_t> id(rows);
+  std::vector<int32_t> tweet_time(rows);
+  std::vector<int32_t> retweet_count(rows);
+  std::vector<int32_t> likes_count(rows);
+  std::vector<int32_t> lang(rows);
+  std::vector<int32_t> uid(rows);
+
+  const int32_t num_users =
+      static_cast<int32_t>(std::max<size_t>(1, rows / 4));
+  for (size_t i = 0; i < rows; ++i) {
+    id[i] = static_cast<int64_t>(1'000'000'000) + static_cast<int64_t>(i);
+    tweet_time[i] = static_cast<int32_t>(rng() % kTweetTimeRange);
+    // Heavy-tailed popularity: retweets = floor(u^-1.2) - 1, capped.
+    double u = std::max(uni(rng), 1e-9);
+    retweet_count[i] = static_cast<int32_t>(
+        std::min(5e6, std::floor(std::pow(u, -1.2)) - 1.0));
+    double v = std::max(uni(rng), 1e-9);
+    likes_count[i] = static_cast<int32_t>(std::min(
+        5e6, 0.5 * retweet_count[i] + std::floor(std::pow(v, -1.1)) - 1.0));
+    double l = uni(rng);
+    lang[i] = l < 0.60 ? kLangEn
+                       : (l < 0.80 ? kLangEs
+                                   : 2 + static_cast<int32_t>(rng() % 8));
+    // Skewed user activity: square a uniform so low uids tweet more.
+    double w = uni(rng);
+    uid[i] = static_cast<int32_t>(w * w * num_users);
+  }
+
+  auto table = std::make_unique<Table>(device);
+  MPTOPK_RETURN_NOT_OK(table->AddColumnI64("id", id));
+  MPTOPK_RETURN_NOT_OK(table->AddColumnI32("tweet_time", tweet_time));
+  MPTOPK_RETURN_NOT_OK(table->AddColumnI32("retweet_count", retweet_count));
+  MPTOPK_RETURN_NOT_OK(table->AddColumnI32("likes_count", likes_count));
+  MPTOPK_RETURN_NOT_OK(table->AddColumnI32("lang", lang));
+  MPTOPK_RETURN_NOT_OK(table->AddColumnI32("uid", uid));
+  return table;
+}
+
+}  // namespace mptopk::engine

@@ -1,0 +1,35 @@
+// Synthetic stand-in for the paper's 250M-tweet dataset (Section 6.8).
+//
+// The paper's four queries depend only on column types, selectivities and
+// cardinalities, which this generator matches at a configurable scale:
+//   id            int64, unique
+//   tweet_time    int32, uniform in [0, kTimeRange) (Q1 sweeps selectivity)
+//   retweet_count int32, Zipf-like heavy tail
+//   likes_count   int32, Zipf-like heavy tail (correlated with retweets)
+//   lang          int32 dictionary code; en=0 (~60%), es=1 (~20%), rest
+//                 spread over 8 more codes (en+es ~ 80%, matching Q3)
+//   uid           int32, ~rows/4 distinct users (250M tweets / 57M users),
+//                 skewed so a few users tweet a lot (Q4 top-50)
+#ifndef MPTOPK_ENGINE_TWEETS_H_
+#define MPTOPK_ENGINE_TWEETS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace mptopk::engine {
+
+inline constexpr int32_t kTweetTimeRange = 1 << 20;
+inline constexpr int kLangEn = 0;
+inline constexpr int kLangEs = 1;
+
+/// Builds a device-resident tweets table with `rows` rows.
+StatusOr<std::unique_ptr<Table>> MakeTweetsTable(simt::Device* device,
+                                                 size_t rows,
+                                                 uint64_t seed = 42);
+
+}  // namespace mptopk::engine
+
+#endif  // MPTOPK_ENGINE_TWEETS_H_

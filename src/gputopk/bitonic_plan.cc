@@ -1,0 +1,56 @@
+#include "gputopk/bitonic_plan.h"
+
+#include <algorithm>
+
+namespace mptopk::gpu {
+
+std::vector<BitonicWindow> PlanBitonicWindows(
+    const std::vector<BitonicStep>& steps, int width_budget_bits) {
+  const int wb = std::max(1, width_budget_bits);
+  std::vector<BitonicWindow> windows;
+  size_t i = 0;
+  while (i < steps.size()) {
+    // Maximal run with comparison-distance bit decreasing by exactly one.
+    size_t j = i;
+    while (j + 1 < steps.size() &&
+           Log2Floor(steps[j + 1].inc) + 1 ==
+               static_cast<uint64_t>(Log2Floor(steps[j].inc))) {
+      ++j;
+    }
+    const int run_hi = Log2Floor(steps[i].inc);
+    const int run_lo = Log2Floor(steps[j].inc);
+    // Absorb the whole run into the previous window if it fits the budget.
+    if (!windows.empty()) {
+      BitonicWindow& prev = windows.back();
+      int lo = std::min(prev.lo_bit, run_lo);
+      int hi = std::max(prev.hi_bit, run_hi);
+      if (hi - lo + 1 <= wb) {
+        prev.lo_bit = lo;
+        prev.hi_bit = hi;
+        for (size_t s = i; s <= j; ++s) prev.steps.push_back(steps[s]);
+        i = j + 1;
+        continue;
+      }
+    }
+    // Low-aligned split: a short leading remainder window (strided), then
+    // full-width windows ending at distance 1 (contiguous chunks,
+    // conflict-free under padding).
+    size_t len = j - i + 1;
+    size_t lead = len % wb;
+    size_t pos = i;
+    auto emit = [&](size_t count) {
+      BitonicWindow w{Log2Floor(steps[pos + count - 1].inc),
+                      Log2Floor(steps[pos].inc),
+                      {}};
+      for (size_t s = pos; s < pos + count; ++s) w.steps.push_back(steps[s]);
+      windows.push_back(std::move(w));
+      pos += count;
+    };
+    if (lead > 0) emit(lead);
+    while (pos <= j) emit(wb);
+    i = j + 1;
+  }
+  return windows;
+}
+
+}  // namespace mptopk::gpu

@@ -1,0 +1,65 @@
+// Bitonic network step sequences and register-window planning, shared by the
+// bitonic top-k kernels (gputopk/bitonic_topk.cc) and the analytical cost
+// model (cost/cost_model.cc). Keeping one planner guarantees the model and
+// the implementation count the same combined steps.
+#ifndef MPTOPK_GPUTOPK_BITONIC_PLAN_H_
+#define MPTOPK_GPUTOPK_BITONIC_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace mptopk::gpu {
+
+/// One compare-exchange round of the bitonic network: pairs (i, i+inc) with
+/// (i & inc) == 0, ascending when (i & dir) == 0 (paper Algorithms 2/4).
+struct BitonicStep {
+  uint32_t dir;
+  uint32_t inc;
+};
+
+/// Steps that turn an unsorted array into sorted runs of length k,
+/// alternating ascending/descending (paper Algorithm 2).
+inline std::vector<BitonicStep> BitonicLocalSortSteps(uint32_t k) {
+  std::vector<BitonicStep> steps;
+  for (uint32_t len = 1; len < k; len <<= 1) {
+    for (uint32_t inc = len; inc >= 1; inc >>= 1) {
+      steps.push_back(BitonicStep{len << 1, inc});
+    }
+  }
+  return steps;
+}
+
+/// Steps that re-sort bitonic runs of length k (paper Algorithm 4).
+inline std::vector<BitonicStep> BitonicRebuildSteps(uint32_t k) {
+  std::vector<BitonicStep> steps;
+  for (uint32_t inc = k >> 1; inc >= 1; inc >>= 1) {
+    steps.push_back(BitonicStep{k, inc});
+  }
+  return steps;
+}
+
+/// A window of consecutive steps whose comparison distances span bits
+/// [lo_bit, hi_bit]; the coupled elements form groups of 2^(hi-lo+1) at
+/// stride 2^lo that one thread holds in registers (paper "combined steps").
+struct BitonicWindow {
+  int lo_bit;
+  int hi_bit;
+  std::vector<BitonicStep> steps;
+  int group_size() const { return 1 << (hi_bit - lo_bit + 1); }
+  /// Strided windows (lo > 0) are the bank-conflicting "comparison distance
+  /// > 1" cases of paper Figures 9/10.
+  bool strided() const { return lo_bit > 0; }
+};
+
+/// Splits a step sequence into register windows of width <=
+/// width_budget_bits. Maximal descending-distance runs are split
+/// low-aligned (short strided lead window, then full windows ending at
+/// distance 1); whole runs that fit are absorbed into the previous window.
+std::vector<BitonicWindow> PlanBitonicWindows(
+    const std::vector<BitonicStep>& steps, int width_budget_bits);
+
+}  // namespace mptopk::gpu
+
+#endif  // MPTOPK_GPUTOPK_BITONIC_PLAN_H_

@@ -1,0 +1,38 @@
+// Bucket Select top-k (paper Sections 2.3, 4.2): a min/max pass followed by
+// repeated 16-way equi-width bucketing passes over the candidate range.
+// Bucketing happens in the order-preserving unsigned key domain, so the
+// range provably shrinks by 16x per pass regardless of the float/int value
+// distribution of the *range*; the *candidate count* reduction remains data
+// dependent (value-clustered inputs degrade it, paper Section 6.4).
+//
+// Matches the paper's observations: heavy use of atomics makes it slower
+// than radix select, except at k == 1 where it returns straight after the
+// min/max pass.
+#ifndef MPTOPK_GPUTOPK_BUCKET_SELECT_H_
+#define MPTOPK_GPUTOPK_BUCKET_SELECT_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "common/tuple_types.h"
+#include "gputopk/topk_result.h"
+#include "simt/device.h"
+
+namespace mptopk::gpu {
+
+/// Computes the top-k of device-resident data[0, n) via bucket selection.
+/// Any 1 <= k <= n. Ties at the k-th value broken arbitrarily. Input is not
+/// modified.
+template <typename E>
+StatusOr<TopKResult<E>> BucketSelectTopKDevice(simt::Device& dev,
+                                               simt::DeviceBuffer<E>& data,
+                                               size_t n, size_t k);
+
+/// Host-staging convenience wrapper.
+template <typename E>
+StatusOr<TopKResult<E>> BucketSelectTopK(simt::Device& dev, const E* data,
+                                         size_t n, size_t k);
+
+}  // namespace mptopk::gpu
+
+#endif  // MPTOPK_GPUTOPK_BUCKET_SELECT_H_

@@ -1,0 +1,154 @@
+// Public top-k entry point: algorithm selection by name or enum, plus the
+// generic TopK() that dispatches (optionally via the cost-based planner in
+// planner/plan_topk.h).
+//
+// All algorithms share the same contract: the k greatest elements by
+// ElementTraits ordering, returned in descending order, input unmodified,
+// simulated kernel time in TopKResult::kernel_ms.
+#ifndef MPTOPK_GPUTOPK_TOPK_H_
+#define MPTOPK_GPUTOPK_TOPK_H_
+
+#include <string>
+
+#include "common/bits.h"
+#include "common/status.h"
+#include "gputopk/bitonic_topk.h"
+#include "gputopk/bucket_select.h"
+#include "gputopk/hybrid_topk.h"
+#include "gputopk/perthread_topk.h"
+#include "gputopk/radix_select.h"
+#include "gputopk/radix_sort.h"
+
+namespace mptopk::gpu {
+
+enum class Algorithm {
+  kSort,         // full radix sort, take k  (paper "Sort")
+  kPerThread,    // per-thread heaps          (paper "PerThread TopK")
+  kRadixSelect,  // MSD radix selection       (paper "Radix Select")
+  kBucketSelect, // min/max bucket selection  (paper "Bucket Select")
+  kBitonic,      // bitonic top-k             (paper "Bitonic TopK")
+  kHybrid,       // radix prefilter + bitonic (paper future work, Section 8)
+};
+
+inline const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kSort:
+      return "Sort";
+    case Algorithm::kPerThread:
+      return "PerThreadTopK";
+    case Algorithm::kRadixSelect:
+      return "RadixSelect";
+    case Algorithm::kBucketSelect:
+      return "BucketSelect";
+    case Algorithm::kBitonic:
+      return "BitonicTopK";
+    case Algorithm::kHybrid:
+      return "HybridTopK";
+  }
+  return "Unknown";
+}
+
+inline StatusOr<Algorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "sort") return Algorithm::kSort;
+  if (name == "perthread") return Algorithm::kPerThread;
+  if (name == "radix_select") return Algorithm::kRadixSelect;
+  if (name == "bucket_select") return Algorithm::kBucketSelect;
+  if (name == "bitonic") return Algorithm::kBitonic;
+  if (name == "hybrid") return Algorithm::kHybrid;
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+/// Direction of the selection: the k greatest (descending result, the
+/// paper's setting) or the k smallest (ascending result).
+enum class SortOrder { kLargest, kSmallest };
+
+/// Runs the chosen algorithm on device-resident data. For bitonic, a
+/// non-power-of-two k is rounded up internally and the result trimmed, so
+/// any 1 <= k <= n works with every algorithm.
+template <typename E>
+StatusOr<TopKResult<E>> TopKDevice(simt::Device& dev,
+                                   simt::DeviceBuffer<E>& data, size_t n,
+                                   size_t k, Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kSort:
+      return SortTopKDevice(dev, data, n, k);
+    case Algorithm::kPerThread:
+      return PerThreadTopKDevice(dev, data, n, k);
+    case Algorithm::kRadixSelect:
+      return RadixSelectTopKDevice(dev, data, n, k);
+    case Algorithm::kBucketSelect:
+      return BucketSelectTopKDevice(dev, data, n, k);
+    case Algorithm::kBitonic:
+    case Algorithm::kHybrid: {
+      size_t k2 = NextPowerOfTwo(k);
+      if (k2 > n) {
+        // Rounding k up to a power of two would exceed n; fall back to the
+        // selection-based method, which handles any k.
+        return RadixSelectTopKDevice(dev, data, n, k);
+      }
+      auto run = algo == Algorithm::kBitonic
+                     ? BitonicTopKDevice(dev, data, n, k2, BitonicOptions{})
+                     : HybridTopKDevice(dev, data, n, k2, HybridOptions{});
+      MPTOPK_ASSIGN_OR_RETURN(auto r, std::move(run));
+      r.items.resize(k);
+      return r;
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+/// Bottom-k: the k smallest elements, ascending. Implemented as top-k over
+/// the order-negated keys (one extra negate-copy pass, counted): every
+/// algorithm, option and distribution guarantee carries over symmetrically.
+template <typename E>
+StatusOr<TopKResult<E>> BottomKDevice(simt::Device& dev,
+                                      simt::DeviceBuffer<E>& data, size_t n,
+                                      size_t k, Algorithm algo) {
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("require 1 <= k <= n");
+  }
+  MPTOPK_ASSIGN_OR_RETURN(auto negated, dev.Alloc<E>(n));
+  simt::GlobalSpan<E> in(data), out(negated);
+  const int grid = static_cast<int>(std::min<uint64_t>(1024,
+                                                       CeilDiv(n, 256)));
+  auto st = dev.Launch(
+      {.grid_dim = grid, .block_dim = 256, .name = "negate_keys"},
+      [&](simt::Block& blk) {
+        blk.ForEachThread([&](simt::Thread& t) {
+          size_t stride = static_cast<size_t>(grid) * 256;
+          for (size_t i = static_cast<size_t>(blk.block_idx()) * 256 + t.tid;
+               i < n; i += stride) {
+            out.Write(t, i, ElementTraits<E>::Negated(in.Read(t, i)));
+          }
+        });
+      });
+  if (!st.ok()) return st.status();
+  MPTOPK_ASSIGN_OR_RETURN(auto r, TopKDevice(dev, negated, n, k, algo));
+  for (E& e : r.items) e = ElementTraits<E>::Negated(e);
+  return r;
+}
+
+/// Runs the selection in either direction (see SortOrder).
+template <typename E>
+StatusOr<TopKResult<E>> TopKDevice(simt::Device& dev,
+                                   simt::DeviceBuffer<E>& data, size_t n,
+                                   size_t k, Algorithm algo,
+                                   SortOrder order) {
+  return order == SortOrder::kLargest
+             ? TopKDevice(dev, data, n, k, algo)
+             : BottomKDevice(dev, data, n, k, algo);
+}
+
+/// Host-staging convenience wrapper.
+template <typename E>
+StatusOr<TopKResult<E>> TopK(simt::Device& dev, const E* data, size_t n,
+                             size_t k, Algorithm algo = Algorithm::kBitonic,
+                             SortOrder order = SortOrder::kLargest) {
+  MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
+  dev.CopyToDevice(buf, data, n);
+  return TopKDevice(dev, buf, n, k, algo, order);
+}
+
+}  // namespace mptopk::gpu
+
+#endif  // MPTOPK_GPUTOPK_TOPK_H_

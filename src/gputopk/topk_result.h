@@ -1,0 +1,35 @@
+// Result type shared by all GPU top-k algorithms.
+#ifndef MPTOPK_GPUTOPK_TOPK_RESULT_H_
+#define MPTOPK_GPUTOPK_TOPK_RESULT_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/tuple_types.h"
+
+namespace mptopk::gpu {
+
+/// Output of a top-k computation: the k greatest elements in descending
+/// order of primary key (ties broken arbitrarily, like SQL ORDER BY ...
+/// LIMIT K), plus the simulated device time spent.
+template <typename E>
+struct TopKResult {
+  std::vector<E> items;
+  /// Simulated kernel milliseconds consumed by this call (excludes PCIe
+  /// staging of the input, matching the paper's measurement methodology).
+  double kernel_ms = 0.0;
+  /// Number of kernel launches performed.
+  int kernels_launched = 0;
+};
+
+/// Sorts a small result vector descending by the element ordering (used to
+/// canonicalize the k returned items; k is tiny so this is host-side).
+template <typename E>
+void SortDescending(std::vector<E>* items) {
+  std::sort(items->begin(), items->end(),
+            [](const E& a, const E& b) { return ElementTraits<E>::Less(b, a); });
+}
+
+}  // namespace mptopk::gpu
+
+#endif  // MPTOPK_GPUTOPK_TOPK_RESULT_H_

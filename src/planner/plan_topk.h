@@ -1,0 +1,61 @@
+// Cost-based top-k algorithm selection — the query-optimizer use case the
+// paper motivates in its conclusion ("allowing a query optimizer to choose
+// the best top-k implementation for a particular query") and lists as future
+// work ("hybrid and adaptive solutions").
+//
+// PlanTopK evaluates the Section 7 cost models for every candidate
+// algorithm under the given workload and returns them ranked. Infeasible
+// algorithms (per-thread heaps beyond shared memory, bitonic beyond
+// k = tile/2) are excluded.
+#ifndef MPTOPK_PLANNER_PLAN_TOPK_H_
+#define MPTOPK_PLANNER_PLAN_TOPK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "gputopk/topk.h"
+
+namespace mptopk::planner {
+
+struct AlgorithmEstimate {
+  gpu::Algorithm algorithm;
+  double predicted_ms;
+};
+
+struct Plan {
+  /// The chosen (cheapest feasible) algorithm.
+  gpu::Algorithm algorithm;
+  /// All feasible algorithms, cheapest first.
+  std::vector<AlgorithmEstimate> ranked;
+};
+
+/// Ranks the algorithms by predicted cost for the workload. By default only
+/// the paper's five algorithms compete (reproducing its planner study); with
+/// include_extensions the sampling-based hybrid (Section 8 future work)
+/// joins, and typically wins on distributions its pivot can discriminate.
+StatusOr<Plan> PlanTopK(const simt::DeviceSpec& spec,
+                        const cost::Workload& workload,
+                        bool include_extensions = false);
+
+/// Convenience: plan, then run the chosen algorithm on device data.
+template <typename E>
+StatusOr<gpu::TopKResult<E>> PlannedTopKDevice(simt::Device& dev,
+                                               simt::DeviceBuffer<E>& data,
+                                               size_t n, size_t k,
+                                               Distribution hint =
+                                                   Distribution::kUniform) {
+  cost::Workload w;
+  w.n = n;
+  w.k = k;
+  w.elem_size = sizeof(E);
+  w.key_size = sizeof(typename KeyTraits<
+                      typename ElementTraits<E>::Key>::Unsigned);
+  w.dist = hint;
+  MPTOPK_ASSIGN_OR_RETURN(Plan plan, PlanTopK(dev.spec(), w));
+  return gpu::TopKDevice(dev, data, n, k, plan.algorithm);
+}
+
+}  // namespace mptopk::planner
+
+#endif  // MPTOPK_PLANNER_PLAN_TOPK_H_

@@ -1,0 +1,214 @@
+// The simulated device: global memory allocation, kernel launching, metrics
+// and simulated-time accounting.
+//
+// Usage:
+//   simt::Device dev(simt::DeviceSpec::TitanXMaxwell());
+//   auto buf = dev.Alloc<float>(n).value();
+//   dev.CopyToDevice(buf, host_data);              // PCIe-accounted staging
+//   auto stats = dev.Launch({grid, block}, [&](simt::Block& blk) { ... });
+//   double ms = stats->time.total_ms;              // simulated kernel time
+//
+// Tracing: by default every block is traced (exact metrics). For large
+// inputs, `set_trace_sample_target(t)` traces ~t evenly spaced blocks per
+// launch and extrapolates — valid because all kernels in this library have
+// block-homogeneous access patterns.
+#ifndef MPTOPK_SIMT_DEVICE_H_
+#define MPTOPK_SIMT_DEVICE_H_
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "simt/block.h"
+#include "simt/device_spec.h"
+#include "simt/memory.h"
+#include "simt/metrics.h"
+#include "simt/timing_model.h"
+#include "simt/trace.h"
+
+namespace mptopk::simt {
+
+struct LaunchConfig {
+  int grid_dim = 1;
+  int block_dim = 256;
+  /// Register footprint per thread (a CUDA compiler output; declared by the
+  /// kernel author here). Affects occupancy.
+  int regs_per_thread = 32;
+  /// Kernel name for per-kernel accounting / debugging.
+  const char* name = "kernel";
+};
+
+struct KernelStats {
+  std::string name;
+  KernelMetrics metrics;
+  KernelTime time;
+  KernelResources resources;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec::TitanXMaxwell())
+      : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Allocates `n` elements of device global memory. Fails with
+  /// ResourceExhausted when the device capacity would be exceeded.
+  template <typename T>
+  StatusOr<DeviceBuffer<T>> Alloc(size_t n) {
+    size_t bytes = n * sizeof(T);
+    if (allocated_bytes_ + bytes > spec_.global_mem_bytes) {
+      return Status::ResourceExhausted(
+          "device memory exhausted: requested " + std::to_string(bytes) +
+          " bytes, " +
+          std::to_string(spec_.global_mem_bytes - allocated_bytes_) +
+          " available");
+    }
+    allocated_bytes_ += bytes;
+    uint64_t addr = next_addr_;
+    next_addr_ += (bytes + 255) & ~uint64_t{255};  // 256-byte aligned
+    return DeviceBuffer<T>(this, addr, n);
+  }
+
+  /// Host -> device staging; accumulates simulated PCIe transfer time.
+  template <typename T>
+  void CopyToDevice(DeviceBuffer<T>& dst, const T* src, size_t n) {
+    std::memcpy(dst.host_data(), src, n * sizeof(T));
+    pcie_ms_ += static_cast<double>(n * sizeof(T)) /
+                (spec_.pcie_bw_gbps * 1e9) * 1e3;
+  }
+
+  /// Device -> host readback; accumulates simulated PCIe transfer time.
+  template <typename T>
+  void CopyToHost(T* dst, const DeviceBuffer<T>& src, size_t n) {
+    std::memcpy(dst, src.host_data(), n * sizeof(T));
+    pcie_ms_ += static_cast<double>(n * sizeof(T)) /
+                (spec_.pcie_bw_gbps * 1e9) * 1e3;
+  }
+
+  /// Launches `body(Block&)` over the grid, returning traced metrics and the
+  /// simulated kernel time. Validates block dimensions and shared-memory
+  /// usage (a kernel allocating more than shared_mem_per_block fails with
+  /// ResourceExhausted — e.g. per-thread top-k at k=512, paper Section 4.1).
+  template <typename F>
+  StatusOr<KernelStats> Launch(const LaunchConfig& cfg, F&& body) {
+    if (cfg.grid_dim <= 0 || cfg.block_dim <= 0) {
+      return Status::InvalidArgument("launch dims must be positive");
+    }
+    if (cfg.block_dim > spec_.max_threads_per_block) {
+      return Status::InvalidArgument(
+          "block_dim " + std::to_string(cfg.block_dim) + " exceeds device max " +
+          std::to_string(spec_.max_threads_per_block));
+    }
+
+    Block block(spec_, cfg.grid_dim, cfg.block_dim);
+    BlockTracer tracer(spec_, cfg.block_dim);
+
+    int stride = 1;
+    if (trace_sample_target_ > 0 && cfg.grid_dim > trace_sample_target_) {
+      stride = cfg.grid_dim / trace_sample_target_;
+    }
+
+    KernelStats stats;
+    stats.name = cfg.name;
+    size_t shared_used = 0;
+    for (int b = 0; b < cfg.grid_dim; ++b) {
+      bool traced = (b % stride) == 0;
+      if (traced) tracer.Reset(cfg.block_dim);
+      block.ResetFor(b, traced ? &tracer : nullptr);
+      body(block);
+      shared_used = std::max(shared_used, block.shared_bytes_used());
+      if (shared_used > spec_.shared_mem_per_block) {
+        return Status::ResourceExhausted(
+            std::string(cfg.name) + ": block shared memory " +
+            std::to_string(shared_used) + " B exceeds device limit " +
+            std::to_string(spec_.shared_mem_per_block) + " B");
+      }
+      if (traced) tracer.Analyze(&stats.metrics);
+    }
+    stats.metrics.blocks_launched = cfg.grid_dim;
+    if (stats.metrics.blocks_traced > 0 &&
+        stats.metrics.blocks_traced < static_cast<uint64_t>(cfg.grid_dim)) {
+      stats.metrics.Scale(static_cast<double>(cfg.grid_dim) /
+                          static_cast<double>(stats.metrics.blocks_traced));
+    }
+
+    stats.resources = KernelResources{cfg.grid_dim, cfg.block_dim,
+                                      cfg.regs_per_thread, shared_used};
+    stats.time = EstimateKernelTime(spec_, stats.resources, stats.metrics);
+
+    total_sim_ms_ += stats.time.total_ms;
+    total_metrics_ += stats.metrics;
+    kernel_log_.push_back(stats);
+    return stats;
+  }
+
+  /// Trace every block (exact; default) when 0, else trace ~target blocks
+  /// per launch and extrapolate.
+  void set_trace_sample_target(int target) { trace_sample_target_ = target; }
+
+  /// Simulated kernel milliseconds accumulated since construction/reset.
+  double total_sim_ms() const { return total_sim_ms_; }
+  /// Simulated PCIe staging milliseconds.
+  double pcie_ms() const { return pcie_ms_; }
+  const KernelMetrics& total_metrics() const { return total_metrics_; }
+  const std::vector<KernelStats>& kernel_log() const { return kernel_log_; }
+  size_t allocated_bytes() const { return allocated_bytes_; }
+
+  /// Resets time/metrics accumulators (not allocations).
+  void ResetAccounting() {
+    total_sim_ms_ = 0;
+    pcie_ms_ = 0;
+    total_metrics_ = KernelMetrics{};
+    kernel_log_.clear();
+  }
+
+  // Internal: DeviceBuffer destruction returns capacity.
+  void ReleaseAllocation(size_t bytes) { allocated_bytes_ -= bytes; }
+
+ private:
+  DeviceSpec spec_;
+  size_t allocated_bytes_ = 0;
+  uint64_t next_addr_ = 4096;  // leave page 0 unmapped
+  int trace_sample_target_ = 0;
+
+  double total_sim_ms_ = 0;
+  double pcie_ms_ = 0;
+  KernelMetrics total_metrics_;
+  std::vector<KernelStats> kernel_log_;
+};
+
+// --- DeviceBuffer inline implementation -------------------------------------
+
+template <typename T>
+DeviceBuffer<T>::DeviceBuffer(Device* device, uint64_t device_addr, size_t n)
+    : device_(device), device_addr_(device_addr), storage_(n) {}
+
+template <typename T>
+DeviceBuffer<T>::~DeviceBuffer() {
+  if (device_ != nullptr) {
+    device_->ReleaseAllocation(storage_.size() * sizeof(T));
+  }
+}
+
+template <typename T>
+DeviceBuffer<T>& DeviceBuffer<T>::operator=(DeviceBuffer&& o) noexcept {
+  if (this != &o) {
+    if (device_ != nullptr) {
+      device_->ReleaseAllocation(storage_.size() * sizeof(T));
+    }
+    device_ = o.device_;
+    device_addr_ = o.device_addr_;
+    storage_ = std::move(o.storage_);
+    o.device_ = nullptr;
+    o.device_addr_ = 0;
+    o.storage_.clear();
+  }
+  return *this;
+}
+
+}  // namespace mptopk::simt
+
+#endif  // MPTOPK_SIMT_DEVICE_H_

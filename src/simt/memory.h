@@ -1,0 +1,197 @@
+// Device memory abstractions: owning global-memory buffers, traced global
+// spans, and traced shared-memory spans.
+//
+// All kernel-visible loads and stores flow through GlobalSpan / SharedSpan
+// with an explicit `Thread&` so the tracer can attribute them to warp lanes.
+// Host-side code uses DeviceBuffer::host_data() directly (modeling
+// cudaMemcpy-style staging; see Device::CopyToDevice / CopyToHost for the
+// PCIe-accounted variants).
+#ifndef MPTOPK_SIMT_MEMORY_H_
+#define MPTOPK_SIMT_MEMORY_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simt/thread.h"
+#include "simt/trace.h"
+
+namespace mptopk::simt {
+
+class Device;
+
+/// An owning allocation in simulated device global memory. Movable,
+/// non-copyable; releases its device-capacity reservation on destruction.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(Device* device, uint64_t device_addr, size_t n);
+  ~DeviceBuffer();
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept { *this = std::move(o); }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
+  uint64_t device_addr() const { return device_addr_; }
+
+  /// Host-visible backing store (simulator-internal; use for staging data in
+  /// tests and for result readback).
+  T* host_data() { return storage_.data(); }
+  const T* host_data() const { return storage_.data(); }
+
+ private:
+  Device* device_ = nullptr;
+  uint64_t device_addr_ = 0;
+  std::vector<T> storage_;
+};
+
+/// A non-owning, traced view of device global memory handed to kernels.
+template <typename T>
+class GlobalSpan {
+ public:
+  GlobalSpan() = default;
+  explicit GlobalSpan(DeviceBuffer<T>& buf)
+      : data_(buf.host_data()), device_addr_(buf.device_addr()),
+        size_(buf.size()) {}
+  GlobalSpan(T* data, uint64_t device_addr, size_t size)
+      : data_(data), device_addr_(device_addr), size_(size) {}
+
+  size_t size() const { return size_; }
+
+  /// Sub-view [offset, offset+count).
+  GlobalSpan<T> subspan(size_t offset, size_t count) const {
+    assert(offset + count <= size_);
+    return GlobalSpan<T>(data_ + offset, device_addr_ + offset * sizeof(T),
+                         count);
+  }
+
+  T Read(Thread& t, size_t i) const {
+    assert(i < size_);
+    if (t.tracer != nullptr) {
+      t.tracer->RecordGlobal(t.tid, t.global_seq++,
+                             device_addr_ + i * sizeof(T), sizeof(T), false);
+    }
+    return data_[i];
+  }
+
+  void Write(Thread& t, size_t i, const T& v) const {
+    assert(i < size_);
+    if (t.tracer != nullptr) {
+      t.tracer->RecordGlobal(t.tid, t.global_seq++,
+                             device_addr_ + i * sizeof(T), sizeof(T), true);
+    }
+    data_[i] = v;
+  }
+
+  /// Atomic read-modify-write add; execution is sequential in the simulator,
+  /// so this is plain arithmetic plus accounting.
+  T AtomicAdd(Thread& t, size_t i, T v) const {
+    assert(i < size_);
+    if (t.tracer != nullptr) {
+      t.tracer->RecordGlobal(t.tid, t.global_seq++,
+                             device_addr_ + i * sizeof(T), sizeof(T), true);
+    }
+    T old = data_[i];
+    data_[i] = old + v;
+    return old;
+  }
+
+  T AtomicMax(Thread& t, size_t i, T v) const {
+    assert(i < size_);
+    if (t.tracer != nullptr) {
+      t.tracer->RecordGlobal(t.tid, t.global_seq++,
+                             device_addr_ + i * sizeof(T), sizeof(T), true);
+    }
+    T old = data_[i];
+    if (v > old) data_[i] = v;
+    return old;
+  }
+
+  /// Atomic compare-and-swap; returns the old value (equal to `expected` on
+  /// success). Execution is sequential in the simulator.
+  T AtomicCas(Thread& t, size_t i, T expected, T desired) const {
+    assert(i < size_);
+    if (t.tracer != nullptr) {
+      t.tracer->RecordGlobal(t.tid, t.global_seq++,
+                             device_addr_ + i * sizeof(T), sizeof(T), true);
+    }
+    T old = data_[i];
+    if (old == expected) data_[i] = desired;
+    return old;
+  }
+
+  T AtomicMin(Thread& t, size_t i, T v) const {
+    assert(i < size_);
+    if (t.tracer != nullptr) {
+      t.tracer->RecordGlobal(t.tid, t.global_seq++,
+                             device_addr_ + i * sizeof(T), sizeof(T), true);
+    }
+    T old = data_[i];
+    if (v < old) data_[i] = v;
+    return old;
+  }
+
+ private:
+  T* data_ = nullptr;
+  uint64_t device_addr_ = 0;
+  size_t size_ = 0;
+};
+
+/// A traced view of a block's shared memory allocation. Obtained from
+/// Block::AllocShared<T>(n); addresses are offsets within the block's shared
+/// arena, which is how the bank analyzer maps words to banks.
+template <typename T>
+class SharedSpan {
+ public:
+  SharedSpan() = default;
+  SharedSpan(T* data, uint64_t base_offset, size_t size)
+      : data_(data), base_offset_(base_offset), size_(size) {}
+
+  size_t size() const { return size_; }
+
+  T Read(Thread& t, size_t i) const {
+    assert(i < size_);
+    if (t.tracer != nullptr) {
+      t.tracer->RecordShared(t.tid, t.shared_seq++,
+                             base_offset_ + i * sizeof(T), sizeof(T),
+                             /*write=*/false, /*atomic=*/false);
+    }
+    return data_[i];
+  }
+
+  void Write(Thread& t, size_t i, const T& v) const {
+    assert(i < size_);
+    if (t.tracer != nullptr) {
+      t.tracer->RecordShared(t.tid, t.shared_seq++,
+                             base_offset_ + i * sizeof(T), sizeof(T),
+                             /*write=*/true, /*atomic=*/false);
+    }
+    data_[i] = v;
+  }
+
+  T AtomicAdd(Thread& t, size_t i, T v) const {
+    assert(i < size_);
+    if (t.tracer != nullptr) {
+      t.tracer->RecordShared(t.tid, t.shared_seq++,
+                             base_offset_ + i * sizeof(T), sizeof(T),
+                             /*write=*/true, /*atomic=*/true);
+    }
+    T old = data_[i];
+    data_[i] = old + v;
+    return old;
+  }
+
+ private:
+  T* data_ = nullptr;
+  uint64_t base_offset_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace mptopk::simt
+
+#endif  // MPTOPK_SIMT_MEMORY_H_

@@ -1,0 +1,55 @@
+#include "simt/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mptopk::simt {
+
+namespace {
+uint64_t ScaleU64(uint64_t v, double f) {
+  return static_cast<uint64_t>(std::llround(static_cast<double>(v) * f));
+}
+}  // namespace
+
+void KernelMetrics::Scale(double factor) {
+  global_transactions = ScaleU64(global_transactions, factor);
+  global_bytes = ScaleU64(global_bytes, factor);
+  global_useful_bytes = ScaleU64(global_useful_bytes, factor);
+  local_bytes = ScaleU64(local_bytes, factor);
+  shared_cycles = ScaleU64(shared_cycles, factor);
+  shared_bytes = ScaleU64(shared_bytes, factor);
+  shared_useful_bytes = ScaleU64(shared_useful_bytes, factor);
+  bank_conflict_cycles = ScaleU64(bank_conflict_cycles, factor);
+  shared_atomic_cycles = ScaleU64(shared_atomic_cycles, factor);
+  dependent_stall_cycles = ScaleU64(dependent_stall_cycles, factor);
+  global_atomics = ScaleU64(global_atomics, factor);
+  warp_instructions = ScaleU64(warp_instructions, factor);
+  divergent_lane_slots = ScaleU64(divergent_lane_slots, factor);
+}
+
+std::string KernelMetrics::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "global: %.2f MB moved (%.2f MB useful, %llu txns), local: %.2f MB, "
+      "shared: %llu cycles (%llu conflict replays, %.2f MB useful), "
+      "atomics: %llu shared-cycles / %llu global, "
+      "warp-insns: %llu (%.1f%% divergent lanes), blocks %llu/%llu traced",
+      global_bytes / 1e6, global_useful_bytes / 1e6,
+      static_cast<unsigned long long>(global_transactions), local_bytes / 1e6,
+      static_cast<unsigned long long>(shared_cycles),
+      static_cast<unsigned long long>(bank_conflict_cycles),
+      shared_useful_bytes / 1e6,
+      static_cast<unsigned long long>(shared_atomic_cycles),
+      static_cast<unsigned long long>(global_atomics),
+      static_cast<unsigned long long>(warp_instructions),
+      warp_instructions == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(divergent_lane_slots) /
+                (static_cast<double>(warp_instructions) * 32.0),
+      static_cast<unsigned long long>(blocks_traced),
+      static_cast<unsigned long long>(blocks_launched));
+  return buf;
+}
+
+}  // namespace mptopk::simt

@@ -1,0 +1,84 @@
+// Per-kernel execution metrics collected by the access tracer.
+//
+// These are the quantities the paper's cost model (Section 7) is built on:
+// global-memory traffic (with coalescing efficiency), shared-memory cycles
+// (with bank-conflict replays), atomics, and divergence-driven warp
+// instruction counts.
+#ifndef MPTOPK_SIMT_METRICS_H_
+#define MPTOPK_SIMT_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mptopk::simt {
+
+struct KernelMetrics {
+  // Global memory ------------------------------------------------------------
+  /// 32-byte sectors moved (each warp memory instruction touches >= 1).
+  uint64_t global_transactions = 0;
+  /// Bytes actually moved over the global memory bus (sectors * 32).
+  uint64_t global_bytes = 0;
+  /// Bytes the kernel asked for; global_bytes / global_useful_bytes is the
+  /// coalescing inefficiency factor.
+  uint64_t global_useful_bytes = 0;
+  /// Local-memory traffic from register spills (billed at global bandwidth).
+  uint64_t local_bytes = 0;
+
+  // Shared memory --------------------------------------------------------—--
+  /// Warp-level shared memory cycles including bank-conflict replays. One
+  /// conflict-free warp access = 1 cycle moving up to 128 bytes.
+  uint64_t shared_cycles = 0;
+  /// shared_cycles * 128 (bandwidth-slot bytes consumed).
+  uint64_t shared_bytes = 0;
+  /// Bytes the kernel asked for from shared memory.
+  uint64_t shared_useful_bytes = 0;
+  /// Replays beyond the first cycle, i.e. pure bank-conflict overhead.
+  uint64_t bank_conflict_cycles = 0;
+
+  // Atomics -------------------------------------------------------------—---
+  uint64_t shared_atomic_cycles = 0;
+  uint64_t global_atomics = 0;
+
+  /// Cycles spent in kernel-reported dependent access chains (latency-bound
+  /// serial sections like heap sift-downs) that bandwidth cannot express.
+  uint64_t dependent_stall_cycles = 0;
+
+  // Divergence ----------------------------------------------------------—---
+  /// Total warp memory instructions issued.
+  uint64_t warp_instructions = 0;
+  /// Lane-slots that were idle in issued warp instructions (divergence).
+  uint64_t divergent_lane_slots = 0;
+
+  /// Number of blocks that were actually traced (sampling) vs launched.
+  uint64_t blocks_traced = 0;
+  uint64_t blocks_launched = 0;
+
+  KernelMetrics& operator+=(const KernelMetrics& o) {
+    global_transactions += o.global_transactions;
+    global_bytes += o.global_bytes;
+    global_useful_bytes += o.global_useful_bytes;
+    local_bytes += o.local_bytes;
+    shared_cycles += o.shared_cycles;
+    shared_bytes += o.shared_bytes;
+    shared_useful_bytes += o.shared_useful_bytes;
+    bank_conflict_cycles += o.bank_conflict_cycles;
+    shared_atomic_cycles += o.shared_atomic_cycles;
+    dependent_stall_cycles += o.dependent_stall_cycles;
+    global_atomics += o.global_atomics;
+    warp_instructions += o.warp_instructions;
+    divergent_lane_slots += o.divergent_lane_slots;
+    blocks_traced += o.blocks_traced;
+    blocks_launched += o.blocks_launched;
+    return *this;
+  }
+
+  /// Scales all traffic counters by `factor` (used to extrapolate sampled
+  /// block traces to the full grid).
+  void Scale(double factor);
+
+  std::string ToString() const;
+};
+
+}  // namespace mptopk::simt
+
+#endif  // MPTOPK_SIMT_METRICS_H_

@@ -1,0 +1,90 @@
+#include "simt/timing_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mptopk::simt {
+
+Occupancy ComputeOccupancy(const DeviceSpec& spec, const KernelResources& res) {
+  Occupancy occ;
+  int by_threads = spec.max_threads_per_sm / std::max(1, res.block_dim);
+  int by_smem =
+      res.shared_bytes_per_block == 0
+          ? spec.max_blocks_per_sm
+          : static_cast<int>(spec.shared_mem_per_sm /
+                             res.shared_bytes_per_block);
+  int regs_per_block = std::max(1, res.regs_per_thread * res.block_dim);
+  int by_regs = spec.register_file_per_sm / regs_per_block;
+  occ.blocks_per_sm = std::max(
+      0, std::min({spec.max_blocks_per_sm, by_threads, by_smem, by_regs}));
+  int warps_per_block =
+      (res.block_dim + spec.warp_size - 1) / spec.warp_size;
+  occ.warps_per_sm = std::min(occ.blocks_per_sm * warps_per_block,
+                              spec.max_warps_per_sm());
+  // The whole grid may not fill every SM (or may not even provide one block
+  // per SM); cap resident warps by what the grid supplies.
+  // A busy SM hosts at least one whole block, so small grids are judged by
+  // per-busy-SM residency (idle SMs are charged via sm_utilization instead).
+  double grid_blocks_per_sm = std::max(
+      1.0, static_cast<double>(res.grid_dim) / spec.num_sms);
+  double resident_warps = std::min(static_cast<double>(occ.warps_per_sm),
+                                   grid_blocks_per_sm * warps_per_block);
+  occ.resident_warps = std::max(1.0, resident_warps);
+  occ.bw_efficiency =
+      std::min(1.0, resident_warps / spec.warps_to_saturate_bw);
+  occ.shared_efficiency =
+      std::min(1.0, resident_warps / spec.warps_to_saturate_shared);
+  occ.sm_utilization =
+      std::min(1.0, static_cast<double>(res.grid_dim) / spec.num_sms);
+  return occ;
+}
+
+KernelTime EstimateKernelTime(const DeviceSpec& spec,
+                              const KernelResources& res,
+                              const KernelMetrics& metrics) {
+  KernelTime t;
+  t.occupancy = ComputeOccupancy(spec, res);
+  const double bw_eff = std::max(t.occupancy.bw_efficiency, 1e-6);
+  const double sm_util = std::max(t.occupancy.sm_utilization, 1e-6);
+
+  const double global_bw = spec.global_bw_gbps * 1e9 * bw_eff;  // bytes/s
+  t.global_ms = (static_cast<double>(metrics.global_bytes) +
+                 static_cast<double>(metrics.local_bytes)) /
+                global_bw * 1e3;
+
+  // Shared bandwidth is a per-SM resource; scale by busy SMs and by warp
+  // occupancy (an SM with very few resident warps cannot keep its shared
+  // memory pipeline full either, though it saturates with fewer warps than
+  // the global pipeline).
+  const double shared_eff = std::max(t.occupancy.shared_efficiency, 1e-6);
+  const double shared_bw = spec.shared_bw_gbps * 1e9 * sm_util * shared_eff;
+  const double shared_slot_bytes =
+      static_cast<double>(spec.shared_mem_banks * spec.bank_width_bytes);
+  double shared_traffic =
+      (static_cast<double>(metrics.shared_cycles) +
+       spec.shared_atomic_cost_factor *
+           static_cast<double>(metrics.shared_atomic_cycles)) *
+      shared_slot_bytes;
+  t.shared_ms = shared_traffic / shared_bw * 1e3;
+
+  // Global atomics are limited by L2 throughput; modeled as a separate
+  // pipeline that overlaps with data movement.
+  t.atomic_ms =
+      static_cast<double>(metrics.global_atomics) * spec.global_atomic_ns *
+      1e-6;
+
+  // Dependent chains: each link exposes its full latency to the owning
+  // warp; the other resident warps on the SM interleave their own chains,
+  // so device throughput is (resident_warps) links per latency per busy SM.
+  t.dependent_ms = static_cast<double>(metrics.dependent_stall_cycles) /
+                   (spec.clock_ghz * 1e9) /
+                   (spec.num_sms * sm_util * t.occupancy.resident_warps) *
+                   1e3;
+
+  t.overhead_ms = spec.kernel_launch_overhead_us * 1e-3;
+  t.total_ms = std::max({t.global_ms, t.shared_ms, t.atomic_ms}) +
+               t.dependent_ms + t.overhead_ms;
+  return t;
+}
+
+}  // namespace mptopk::simt

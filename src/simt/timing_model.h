@@ -1,0 +1,68 @@
+// Converts traced kernel metrics into simulated execution time.
+//
+// The model follows the paper's Section 7 structure: a kernel's time is the
+// maximum of its global-memory time and its shared-memory time (the GPU
+// hides the cheaper one behind the more expensive one), plus a fixed launch
+// overhead. On top of that it models two first-order effects the paper
+// discusses qualitatively:
+//
+//  * Occupancy (Section 4.1): resident blocks per SM are limited by shared
+//    memory, registers and thread slots. Below `warps_to_saturate_bw`
+//    resident warps per SM, effective memory bandwidth degrades linearly —
+//    this is what makes the per-thread heap approach fall off a cliff as k
+//    grows.
+//  * Grid underutilization: a grid smaller than the SM count leaves SMs idle
+//    and scales achievable shared-memory bandwidth accordingly.
+#ifndef MPTOPK_SIMT_TIMING_MODEL_H_
+#define MPTOPK_SIMT_TIMING_MODEL_H_
+
+#include "simt/device_spec.h"
+#include "simt/metrics.h"
+
+namespace mptopk::simt {
+
+/// Static resource footprint of one kernel launch.
+struct KernelResources {
+  int grid_dim = 1;
+  int block_dim = 1;
+  int regs_per_thread = 32;
+  size_t shared_bytes_per_block = 0;
+};
+
+/// Occupancy derived from a kernel's resource usage.
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;
+  /// Effective global-memory bandwidth fraction in [0, 1].
+  double bw_efficiency = 0.0;
+  /// Effective shared-memory bandwidth fraction in [0, 1] (saturates with
+  /// fewer warps than global).
+  double shared_efficiency = 0.0;
+  /// Fraction of SMs with at least one resident block in [0, 1].
+  double sm_utilization = 0.0;
+  /// Warps actually resident per busy SM given the grid size.
+  double resident_warps = 0.0;
+};
+
+Occupancy ComputeOccupancy(const DeviceSpec& spec, const KernelResources& res);
+
+/// Simulated kernel time in milliseconds.
+struct KernelTime {
+  double global_ms = 0.0;
+  double shared_ms = 0.0;
+  double atomic_ms = 0.0;
+  /// Exposed latency of dependent access chains (adds to, rather than
+  /// overlapping with, the bandwidth terms).
+  double dependent_ms = 0.0;
+  double overhead_ms = 0.0;
+  double total_ms = 0.0;
+  Occupancy occupancy;
+};
+
+KernelTime EstimateKernelTime(const DeviceSpec& spec,
+                              const KernelResources& res,
+                              const KernelMetrics& metrics);
+
+}  // namespace mptopk::simt
+
+#endif  // MPTOPK_SIMT_TIMING_MODEL_H_

@@ -1,0 +1,174 @@
+#include "simt/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <limits>
+
+namespace mptopk::simt {
+
+BlockTracer::BlockTracer(const DeviceSpec& spec, int block_dim)
+    : spec_(spec), block_dim_(block_dim) {
+  global_.resize(block_dim);
+  shared_.resize(block_dim);
+}
+
+void BlockTracer::Reset(int block_dim) {
+  block_dim_ = block_dim;
+  if (static_cast<int>(global_.size()) < block_dim) {
+    global_.resize(block_dim);
+    shared_.resize(block_dim);
+  }
+  for (auto& v : global_) v.clear();
+  for (auto& v : shared_) v.clear();
+  local_bytes_ = 0;
+  dependent_cycles_ = 0;
+}
+
+void BlockTracer::RecordGlobal(int tid, uint32_t seq, uint64_t addr,
+                               uint32_t size, bool write) {
+  global_[tid].push_back(
+      Access{addr, seq, static_cast<uint16_t>(size), write, false});
+}
+
+void BlockTracer::RecordShared(int tid, uint32_t seq, uint64_t addr,
+                               uint32_t size, bool write, bool atomic) {
+  shared_[tid].push_back(
+      Access{addr, seq, static_cast<uint16_t>(size), write, atomic});
+}
+
+void BlockTracer::AnalyzeGlobalWarp(const std::vector<Access>* lanes,
+                                    int num_lanes, KernelMetrics* m) const {
+  std::array<size_t, 32> pos{};
+  const uint64_t sector = spec_.sector_bytes;
+  while (true) {
+    // Find the minimum outstanding seq across lanes.
+    uint32_t min_seq = std::numeric_limits<uint32_t>::max();
+    for (int l = 0; l < num_lanes; ++l) {
+      if (pos[l] < lanes[l].size()) {
+        min_seq = std::min(min_seq, lanes[l][pos[l]].seq);
+      }
+    }
+    if (min_seq == std::numeric_limits<uint32_t>::max()) break;
+
+    // Gather the participating lanes of this warp instruction.
+    std::array<uint64_t, 64> sectors;
+    int num_sectors = 0;
+    int participants = 0;
+    uint64_t useful = 0;
+    for (int l = 0; l < num_lanes; ++l) {
+      if (pos[l] >= lanes[l].size() || lanes[l][pos[l]].seq != min_seq) {
+        continue;
+      }
+      const Access& a = lanes[l][pos[l]];
+      ++pos[l];
+      ++participants;
+      useful += a.size;
+      uint64_t first = a.addr / sector;
+      uint64_t last = (a.addr + a.size - 1) / sector;
+      for (uint64_t s = first; s <= last; ++s) {
+        bool seen = false;
+        for (int j = 0; j < num_sectors; ++j) {
+          if (sectors[j] == s) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen && num_sectors < 64) sectors[num_sectors++] = s;
+      }
+    }
+    m->warp_instructions += 1;
+    m->divergent_lane_slots += spec_.warp_size - participants;
+    m->global_transactions += num_sectors;
+    m->global_bytes += static_cast<uint64_t>(num_sectors) * sector;
+    m->global_useful_bytes += useful;
+  }
+}
+
+void BlockTracer::AnalyzeSharedWarp(const std::vector<Access>* lanes,
+                                    int num_lanes, KernelMetrics* m) const {
+  const int kBanks = spec_.shared_mem_banks;
+  const uint64_t word = spec_.bank_width_bytes;
+  // Per-bank distinct-word lists for the current warp instruction. Lane
+  // counts are tiny (<= 32 lanes * 4 words), linear scans are fine.
+  std::vector<std::vector<uint64_t>> bank_words(kBanks);
+  std::vector<int> bank_accesses(kBanks);
+
+  std::array<size_t, 32> pos{};
+  while (true) {
+    uint32_t min_seq = std::numeric_limits<uint32_t>::max();
+    for (int l = 0; l < num_lanes; ++l) {
+      if (pos[l] < lanes[l].size()) {
+        min_seq = std::min(min_seq, lanes[l][pos[l]].seq);
+      }
+    }
+    if (min_seq == std::numeric_limits<uint32_t>::max()) break;
+
+    for (auto& bw : bank_words) bw.clear();
+    std::fill(bank_accesses.begin(), bank_accesses.end(), 0);
+    int participants = 0;
+    uint64_t useful = 0;
+    bool any_atomic = false;
+    for (int l = 0; l < num_lanes; ++l) {
+      if (pos[l] >= lanes[l].size() || lanes[l][pos[l]].seq != min_seq) {
+        continue;
+      }
+      const Access& a = lanes[l][pos[l]];
+      ++pos[l];
+      ++participants;
+      useful += a.size;
+      any_atomic |= a.atomic;
+      uint64_t first = a.addr / word;
+      uint64_t last = (a.addr + a.size - 1) / word;
+      for (uint64_t w = first; w <= last; ++w) {
+        int bank = static_cast<int>(w % kBanks);
+        ++bank_accesses[bank];
+        auto& words = bank_words[bank];
+        if (std::find(words.begin(), words.end(), w) == words.end()) {
+          words.push_back(w);
+        }
+      }
+    }
+
+    m->warp_instructions += 1;
+    m->divergent_lane_slots += spec_.warp_size - participants;
+    if (any_atomic) {
+      // Same-word atomics within one warp instruction are warp-aggregated
+      // (one hardware update delivering per-lane return values, as modern
+      // shared-atomic units do); distinct words on a bank still replay, and
+      // the read-modify-write costs one extra cycle.
+      int cycles = 1;
+      for (int b = 0; b < kBanks; ++b) {
+        cycles = std::max(cycles, static_cast<int>(bank_words[b].size()) + 1);
+      }
+      m->shared_atomic_cycles += cycles;
+      m->shared_useful_bytes += useful;
+    } else {
+      // Plain accesses: distinct words on the same bank replay; all lanes
+      // reading one word broadcast in a single cycle.
+      int replays = 1;
+      for (int b = 0; b < kBanks; ++b) {
+        replays = std::max(replays, static_cast<int>(bank_words[b].size()));
+      }
+      m->shared_cycles += replays;
+      m->bank_conflict_cycles += replays - 1;
+      m->shared_bytes +=
+          static_cast<uint64_t>(replays) * kBanks * spec_.bank_width_bytes;
+      m->shared_useful_bytes += useful;
+    }
+  }
+}
+
+void BlockTracer::Analyze(KernelMetrics* m) const {
+  const int ws = spec_.warp_size;
+  for (int w = 0; w * ws < block_dim_; ++w) {
+    int lanes = std::min(ws, block_dim_ - w * ws);
+    AnalyzeGlobalWarp(&global_[w * ws], lanes, m);
+    AnalyzeSharedWarp(&shared_[w * ws], lanes, m);
+  }
+  m->local_bytes += local_bytes_;
+  m->dependent_stall_cycles += dependent_cycles_;
+  m->blocks_traced += 1;
+}
+
+}  // namespace mptopk::simt

@@ -1,0 +1,81 @@
+// Memory access tracing and warp-level analysis.
+//
+// Kernels execute block-synchronously (lane loops between barriers). Every
+// global / shared access made through the traced spans is recorded with a
+// per-thread sequence number. Because the kernels in this library are
+// data-parallel, the i-th access of each lane in a warp corresponds to the
+// same (SIMT) memory instruction; the analyzer therefore groups accesses by
+// (warp, seq) into "warp instructions" and derives:
+//
+//  * global memory: the set of 32-byte sectors touched -> transactions and
+//    bus bytes (coalescing model),
+//  * shared memory: the maximum number of distinct 4-byte words mapping to
+//    one bank -> replay cycles (bank-conflict model; same-word access by
+//    multiple lanes broadcasts conflict-free),
+//  * atomics: same-bank accesses serialize per access (not per distinct
+//    word),
+//  * divergence: lanes missing from a warp instruction are idle slots.
+//
+// Sequence numbers are re-aligned across a warp at every barrier and region
+// boundary so that divergent regions (e.g. data-dependent heap updates) cost
+// extra warp instructions exactly as SIMT hardware serializes them.
+#ifndef MPTOPK_SIMT_TRACE_H_
+#define MPTOPK_SIMT_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/device_spec.h"
+#include "simt/metrics.h"
+
+namespace mptopk::simt {
+
+class BlockTracer {
+ public:
+  BlockTracer(const DeviceSpec& spec, int block_dim);
+
+  /// Clears all recorded accesses (block reuse).
+  void Reset(int block_dim);
+
+  void RecordGlobal(int tid, uint32_t seq, uint64_t addr, uint32_t size,
+                    bool write);
+  void RecordShared(int tid, uint32_t seq, uint64_t addr, uint32_t size,
+                    bool write, bool atomic);
+  /// Register-spill traffic to thread-local memory (no warp analysis; billed
+  /// as global-bandwidth bytes).
+  void RecordLocal(uint64_t bytes) { local_bytes_ += bytes; }
+
+  /// Latency-bound dependent access chains (each link's address depends on
+  /// the previous load, e.g. heap sift levels); priced by the timing model
+  /// as exposed latency divided by resident warps.
+  void RecordDependentCycles(uint64_t cycles) { dependent_cycles_ += cycles; }
+
+  /// Analyzes all recorded accesses of this block and accumulates into *m.
+  void Analyze(KernelMetrics* m) const;
+
+ private:
+  struct Access {
+    uint64_t addr;
+    uint32_t seq;
+    uint16_t size;
+    bool write;
+    bool atomic;
+  };
+
+  void AnalyzeGlobalWarp(const std::vector<Access>* lanes, int num_lanes,
+                         KernelMetrics* m) const;
+  void AnalyzeSharedWarp(const std::vector<Access>* lanes, int num_lanes,
+                         KernelMetrics* m) const;
+
+  const DeviceSpec& spec_;
+  int block_dim_;
+  // Indexed by tid; accesses are in strictly increasing seq order per thread.
+  std::vector<std::vector<Access>> global_;
+  std::vector<std::vector<Access>> shared_;
+  uint64_t local_bytes_ = 0;
+  uint64_t dependent_cycles_ = 0;
+};
+
+}  // namespace mptopk::simt
+
+#endif  // MPTOPK_SIMT_TRACE_H_

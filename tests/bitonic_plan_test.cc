@@ -1,0 +1,119 @@
+// Property tests for the bitonic step sequences and the register-window
+// planner (shared by the kernels and the cost model).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bits.h"
+#include "gputopk/bitonic_plan.h"
+
+namespace mptopk::gpu {
+namespace {
+
+// --- Step sequences -----------------------------------------------------------
+
+TEST(BitonicStepsTest, LocalSortStepCount) {
+  // k = 2^p: phases 1..p with 1..p steps -> p(p+1)/2 total.
+  for (uint32_t p = 1; p <= 10; ++p) {
+    auto steps = BitonicLocalSortSteps(1u << p);
+    EXPECT_EQ(steps.size(), p * (p + 1) / 2) << "k=2^" << p;
+  }
+  EXPECT_TRUE(BitonicLocalSortSteps(1).empty());
+}
+
+TEST(BitonicStepsTest, RebuildStepCount) {
+  for (uint32_t p = 1; p <= 10; ++p) {
+    auto steps = BitonicRebuildSteps(1u << p);
+    EXPECT_EQ(steps.size(), p);
+    for (const auto& s : steps) {
+      EXPECT_EQ(s.dir, 1u << p);
+    }
+  }
+  EXPECT_TRUE(BitonicRebuildSteps(1).empty());
+}
+
+TEST(BitonicStepsTest, DistancesDescendWithinPhases) {
+  auto steps = BitonicLocalSortSteps(64);
+  for (size_t i = 1; i < steps.size(); ++i) {
+    if (steps[i].dir == steps[i - 1].dir) {
+      EXPECT_EQ(steps[i].inc, steps[i - 1].inc >> 1);
+    } else {
+      EXPECT_EQ(steps[i].dir, steps[i - 1].dir << 1);
+      EXPECT_EQ(steps[i].inc, steps[i].dir >> 1);
+    }
+  }
+}
+
+// --- Window planner -------------------------------------------------------------
+
+class WindowPlanTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, int>> {};
+
+TEST_P(WindowPlanTest, PreservesStepsInOrderWithinBudget) {
+  auto [k, wb] = GetParam();
+  for (const auto& steps :
+       {BitonicLocalSortSteps(k), BitonicRebuildSteps(k)}) {
+    auto windows = PlanBitonicWindows(steps, wb);
+    // Flattening the windows must reproduce the steps exactly, in order.
+    std::vector<BitonicStep> flat;
+    for (const auto& w : windows) {
+      EXPECT_LE(w.hi_bit - w.lo_bit + 1, std::max(1, wb))
+          << "window width over budget";
+      EXPECT_LE(w.group_size(), 1 << std::max(1, wb));
+      for (const auto& s : w.steps) {
+        int bit = Log2Floor(s.inc);
+        EXPECT_GE(bit, w.lo_bit);
+        EXPECT_LE(bit, w.hi_bit);
+        flat.push_back(s);
+      }
+    }
+    ASSERT_EQ(flat.size(), steps.size());
+    for (size_t i = 0; i < steps.size(); ++i) {
+      EXPECT_EQ(flat[i].inc, steps[i].inc) << i;
+      EXPECT_EQ(flat[i].dir, steps[i].dir) << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KAndBudget, WindowPlanTest,
+    ::testing::Combine(::testing::Values(2u, 8u, 32u, 256u, 1024u),
+                       ::testing::Values(1, 2, 3, 4, 6)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_wb" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(WindowPlanTest, EarlyPhasesAbsorbIntoOneWindow) {
+  // Local sort of k=16 with budget 4 is one 16-element window: the whole
+  // per-thread chunk sorts in registers (paper: B=16 per thread).
+  auto windows = PlanBitonicWindows(BitonicLocalSortSteps(16), 4);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].lo_bit, 0);
+  EXPECT_EQ(windows[0].hi_bit, 3);
+  EXPECT_EQ(windows[0].steps.size(), 10u);
+}
+
+TEST(WindowPlanTest, FullWindowsEndAtDistanceOne) {
+  // Low-aligned split: the final window of each descending run must be
+  // contiguous (lo_bit == 0) so it is conflict-free under padding.
+  auto windows = PlanBitonicWindows(BitonicRebuildSteps(256), 4);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].lo_bit, 4);  // strided lead window
+  EXPECT_EQ(windows[0].hi_bit, 7);
+  EXPECT_TRUE(windows[0].strided());
+  EXPECT_EQ(windows[1].lo_bit, 0);  // contiguous bulk window
+  EXPECT_FALSE(windows[1].strided());
+}
+
+TEST(WindowPlanTest, BudgetOneDegeneratesToSingleSteps) {
+  auto steps = BitonicLocalSortSteps(64);
+  auto windows = PlanBitonicWindows(steps, 1);
+  ASSERT_EQ(windows.size(), steps.size());
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.group_size(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace mptopk::gpu

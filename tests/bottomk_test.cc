@@ -1,0 +1,107 @@
+// Tests for the bottom-k direction ("largest or smallest", paper abstract):
+// implemented as top-k over order-negated keys, so every algorithm must
+// work symmetrically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/distributions.h"
+#include "gputopk/topk.h"
+
+namespace mptopk::gpu {
+namespace {
+
+template <typename E>
+std::vector<E> ReferenceBottom(std::vector<E> data, size_t k) {
+  std::sort(data.begin(), data.end(),
+            [](const E& a, const E& b) { return ElementTraits<E>::Less(a, b); });
+  data.resize(k);
+  return data;
+}
+
+class BottomKTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(BottomKTest, FloatsAscending) {
+  auto data = GenerateFloats(1 << 15, Distribution::kUniform, 21);
+  simt::Device dev;
+  auto r = TopK(dev, data.data(), data.size(), 32, GetParam(),
+                SortOrder::kSmallest);
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto expect = ReferenceBottom(data, 32);
+  ASSERT_EQ(r->items.size(), 32u);
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(r->items[i], expect[i]) << "rank " << i;
+  }
+}
+
+TEST_P(BottomKTest, SignedIntsIncludingMin) {
+  auto data = GenerateI32(1 << 14, Distribution::kUniform, 22);
+  data[100] = INT32_MIN;  // ~x must handle the extremes
+  data[200] = INT32_MAX;
+  simt::Device dev;
+  auto r = TopK(dev, data.data(), data.size(), 16, GetParam(),
+                SortOrder::kSmallest);
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto expect = ReferenceBottom(data, 16);
+  EXPECT_EQ(r->items, expect);
+  EXPECT_EQ(r->items.front(), INT32_MIN);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, BottomKTest,
+                         ::testing::Values(Algorithm::kSort,
+                                           Algorithm::kPerThread,
+                                           Algorithm::kRadixSelect,
+                                           Algorithm::kBucketSelect,
+                                           Algorithm::kBitonic,
+                                           Algorithm::kHybrid),
+                         [](const auto& info) {
+                           return AlgorithmName(info.param);
+                         });
+
+TEST(BottomKTest, KVPayloadsFollowSmallestKeys) {
+  auto keys = GenerateFloats(1 << 14, Distribution::kUniform, 23);
+  std::vector<KV> data(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    data[i] = KV{keys[i], static_cast<uint32_t>(i)};
+  }
+  simt::Device dev;
+  auto r = TopK(dev, data.data(), data.size(), 16, Algorithm::kBitonic,
+                SortOrder::kSmallest);
+  ASSERT_TRUE(r.ok()) << r.status();
+  for (const KV& kv : r->items) {
+    EXPECT_EQ(data[kv.value].key, kv.key);
+  }
+  auto expect = ReferenceBottom(data, 16);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(r->items[i].key, expect[i].key);
+  }
+}
+
+TEST(BottomKTest, LargestDefaultUnchanged) {
+  auto data = GenerateFloats(4096, Distribution::kUniform, 24);
+  simt::Device d1, d2;
+  auto a = TopK(d1, data.data(), data.size(), 8);
+  auto b = TopK(d2, data.data(), data.size(), 8, Algorithm::kBitonic,
+                SortOrder::kLargest);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->items, b->items);
+}
+
+TEST(BottomKTest, NegationIsInvolution) {
+  for (float v : {0.0f, -0.0f, 1.5f, -3e38f}) {
+    EXPECT_EQ(ElementTraits<float>::Negated(ElementTraits<float>::Negated(v)),
+              v);
+  }
+  for (int32_t v : {0, -1, INT32_MIN, INT32_MAX}) {
+    EXPECT_EQ(
+        ElementTraits<int32_t>::Negated(ElementTraits<int32_t>::Negated(v)),
+        v);
+  }
+  // Order reversal for ints: a < b  <=>  ~b < ~a.
+  EXPECT_LT(ElementTraits<int32_t>::Negated(INT32_MAX),
+            ElementTraits<int32_t>::Negated(INT32_MIN));
+}
+
+}  // namespace
+}  // namespace mptopk::gpu

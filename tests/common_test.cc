@@ -1,0 +1,254 @@
+// Unit tests for src/common: status plumbing, bit utilities, order-preserving
+// key transforms, data distributions, flags and table printing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "common/bits.h"
+#include "common/distributions.h"
+#include "common/flags.h"
+#include "common/key_transform.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "common/tuple_types.h"
+
+namespace mptopk {
+namespace {
+
+// --- Status -----------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("k must be a power of two");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be a power of two");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::OutOfRange("boom");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+StatusOr<int> Doubler(StatusOr<int> in) {
+  MPTOPK_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  EXPECT_FALSE(Doubler(Status::Internal("x")).ok());
+}
+
+// --- Bits -------------------------------------------------------------------
+
+TEST(BitsTest, PowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ull << 40));
+}
+
+TEST(BitsTest, Log2) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(1024), 10);
+}
+
+TEST(BitsTest, NextPowerOfTwoAndRounding) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(RoundUp(10, 8), 16u);
+  EXPECT_EQ(RoundUp(16, 8), 16u);
+  EXPECT_EQ(CeilDiv(9, 4), 3u);
+}
+
+TEST(BitsTest, DigitExtraction) {
+  uint32_t key = 0xAABBCCDD;
+  EXPECT_EQ(ExtractDigitLsd(key, 0, 8), 0xDDu);
+  EXPECT_EQ(ExtractDigitLsd(key, 3, 8), 0xAAu);
+  EXPECT_EQ(ExtractDigitMsd(key, 0, 8), 0xAAu);
+  EXPECT_EQ(ExtractDigitMsd(key, 3, 8), 0xDDu);
+}
+
+// --- Key transforms ----------------------------------------------------------
+
+template <typename T>
+void CheckOrderPreserving(std::vector<T> values) {
+  std::sort(values.begin(), values.end());
+  for (size_t i = 1; i < values.size(); ++i) {
+    auto a = KeyTraits<T>::ToOrderedBits(values[i - 1]);
+    auto b = KeyTraits<T>::ToOrderedBits(values[i]);
+    EXPECT_LE(a, b) << "at index " << i;
+    EXPECT_EQ(KeyTraits<T>::FromOrderedBits(b), values[i]);
+  }
+}
+
+TEST(KeyTransformTest, FloatOrderPreserving) {
+  CheckOrderPreserving<float>({-1e30f, -3.5f, -0.0f, 0.0f, 1e-20f, 1.0f,
+                               3.14f, 1e30f});
+}
+
+TEST(KeyTransformTest, DoubleOrderPreserving) {
+  CheckOrderPreserving<double>({-1e300, -2.5, -1e-200, 0.0, 7.25, 1e300});
+}
+
+TEST(KeyTransformTest, Int32OrderPreserving) {
+  CheckOrderPreserving<int32_t>({INT32_MIN, -5, -1, 0, 1, 100, INT32_MAX});
+}
+
+TEST(KeyTransformTest, Int64OrderPreserving) {
+  CheckOrderPreserving<int64_t>({INT64_MIN, -42, 0, 42, INT64_MAX});
+}
+
+TEST(KeyTransformTest, RandomFloatsRoundTrip) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> dist(-1e6f, 1e6f);
+  for (int i = 0; i < 1000; ++i) {
+    float v = dist(rng);
+    EXPECT_EQ(KeyTraits<float>::FromOrderedBits(
+                  KeyTraits<float>::ToOrderedBits(v)),
+              v);
+  }
+}
+
+TEST(KeyTransformTest, LowestIsMinimal) {
+  EXPECT_LE(KeyTraits<float>::ToOrderedBits(KeyTraits<float>::Lowest()),
+            KeyTraits<float>::ToOrderedBits(-1e37f));
+  EXPECT_EQ(KeyTraits<uint32_t>::Lowest(), 0u);
+}
+
+// --- Tuple types -------------------------------------------------------------
+
+TEST(TupleTypesTest, KVOrdering) {
+  KV a{1.0f, 10}, b{2.0f, 5};
+  EXPECT_TRUE(ElementTraits<KV>::Less(a, b));
+  EXPECT_FALSE(ElementTraits<KV>::Less(b, a));
+  EXPECT_EQ(ElementTraits<KV>::PrimaryKey(b), 2.0f);
+}
+
+TEST(TupleTypesTest, KKVLexicographic) {
+  KKV a{1.0f, 5.0f, 1}, b{1.0f, 6.0f, 2};
+  EXPECT_TRUE(ElementTraits<KKV>::Less(a, b));
+  KKKV c{1.0f, 5.0f, 1.0f, 1}, d{1.0f, 5.0f, 2.0f, 2};
+  EXPECT_TRUE(ElementTraits<KKKV>::Less(c, d));
+}
+
+TEST(TupleTypesTest, SentinelNeverWins) {
+  KV sentinel = ElementTraits<KV>::LowestSentinel();
+  EXPECT_TRUE(ElementTraits<KV>::Less(sentinel, KV{-1e30f, 0}));
+}
+
+// --- Distributions ------------------------------------------------------------
+
+TEST(DistributionsTest, ParseNames) {
+  EXPECT_TRUE(ParseDistribution("uniform").ok());
+  EXPECT_TRUE(ParseDistribution("bucket_killer").ok());
+  EXPECT_FALSE(ParseDistribution("zipfian").ok());
+  EXPECT_STREQ(DistributionName(Distribution::kIncreasing), "increasing");
+}
+
+TEST(DistributionsTest, UniformFloatsInRange) {
+  auto v = GenerateFloats(10000, Distribution::kUniform);
+  EXPECT_EQ(v.size(), 10000u);
+  for (float x : v) {
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LT(x, 1.0f);
+  }
+}
+
+TEST(DistributionsTest, Deterministic) {
+  auto a = GenerateFloats(100, Distribution::kUniform, 123);
+  auto b = GenerateFloats(100, Distribution::kUniform, 123);
+  EXPECT_EQ(a, b);
+  auto c = GenerateFloats(100, Distribution::kUniform, 124);
+  EXPECT_NE(a, c);
+}
+
+TEST(DistributionsTest, IncreasingIsSorted) {
+  auto v = GenerateFloats(1000, Distribution::kIncreasing);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(DistributionsTest, DecreasingIsReverseSorted) {
+  auto v = GenerateFloats(1000, Distribution::kDecreasing);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<float>()));
+}
+
+TEST(DistributionsTest, BucketKillerMostlyOnes) {
+  auto v = GenerateFloats(1000, Distribution::kBucketKiller);
+  size_t ones = std::count(v.begin(), v.end(), 1.0f);
+  EXPECT_GE(ones, v.size() - 4);
+  EXPECT_LT(ones, v.size());  // at least one modified value
+}
+
+TEST(DistributionsTest, DoublesAndU32) {
+  auto d = GenerateDoubles(100, Distribution::kUniform);
+  for (double x : d) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+  auto u = GenerateU32(10000, Distribution::kUniform);
+  // Should cover a wide range.
+  auto [mn, mx] = std::minmax_element(u.begin(), u.end());
+  EXPECT_LT(*mn, 1u << 28);
+  EXPECT_GT(*mx, 0xF0000000u);
+}
+
+// --- Flags --------------------------------------------------------------------
+
+TEST(FlagsTest, ParsesForms) {
+  Flags f;
+  f.Define("k", "64", "top-k");
+  f.Define("dist", "uniform", "distribution");
+  f.Define("csv", "false", "emit csv");
+  const char* argv[] = {"prog", "--k=128", "--dist", "increasing", "--csv"};
+  ASSERT_TRUE(f.Parse(5, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(f.GetInt("k"), 128);
+  EXPECT_EQ(f.GetString("dist"), "increasing");
+  EXPECT_TRUE(f.GetBool("csv"));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  Flags f;
+  f.Define("k", "64", "top-k");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(f.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  Flags f;
+  f.Define("n_log2", "24", "log2 of input size");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(f.Parse(1, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(f.GetInt("n_log2"), 24);
+}
+
+// --- TablePrinter ---------------------------------------------------------------
+
+TEST(TablePrinterTest, CellFormatting) {
+  EXPECT_EQ(TablePrinter::Cell(1.234, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Cell(std::nan(""), 2), "-");
+}
+
+}  // namespace
+}  // namespace mptopk

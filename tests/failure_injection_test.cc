@@ -1,0 +1,112 @@
+// Failure-injection tests: resource exhaustion and degenerate inputs must
+// surface as Status errors (never crashes or silent corruption), matching
+// the library's errors-are-values contract.
+#include <gtest/gtest.h>
+
+#include "common/distributions.h"
+#include "gputopk/chunked.h"
+#include "gputopk/topk.h"
+
+namespace mptopk::gpu {
+namespace {
+
+simt::DeviceSpec TinyMemorySpec(size_t bytes) {
+  auto spec = simt::DeviceSpec::TitanXMaxwell();
+  spec.global_mem_bytes = bytes;
+  return spec;
+}
+
+TEST(FailureInjectionTest, BitonicPropagatesDeviceOom) {
+  // Enough memory for the input but not the reduction buffers.
+  const size_t n = 1 << 16;
+  simt::Device dev(TinyMemorySpec(n * sizeof(float) + 1024));
+  auto data = GenerateFloats(n, Distribution::kUniform);
+  auto buf = dev.Alloc<float>(n);
+  ASSERT_TRUE(buf.ok());
+  dev.CopyToDevice(*buf, data.data(), n);
+  auto r = BitonicTopKDevice(dev, *buf, n, 32);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FailureInjectionTest, SortPropagatesDeviceOom) {
+  const size_t n = 1 << 16;
+  simt::Device dev(TinyMemorySpec(n * sizeof(float) + 1024));
+  auto buf = dev.Alloc<float>(n);
+  ASSERT_TRUE(buf.ok());
+  auto r = SortTopKDevice(dev, *buf, n, 32);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FailureInjectionTest, RadixSelectPropagatesDeviceOom) {
+  const size_t n = 1 << 16;
+  simt::Device dev(TinyMemorySpec(n * sizeof(float) + 1024));
+  auto buf = dev.Alloc<float>(n);
+  ASSERT_TRUE(buf.ok());
+  auto r = RadixSelectTopKDevice(dev, *buf, n, 32);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FailureInjectionTest, AllocationReleasedAfterFailure) {
+  const size_t n = 1 << 16;
+  // Room for the input plus a sliver -- the bitonic reduction buffers
+  // (~n/16 + n/256 elements) do not fit.
+  simt::Device dev(TinyMemorySpec(n * sizeof(float) + 2048));
+  auto data = GenerateFloats(n, Distribution::kUniform);
+  size_t before = dev.allocated_bytes();
+  {
+    auto buf = dev.Alloc<float>(n);
+    ASSERT_TRUE(buf.ok());
+    dev.CopyToDevice(*buf, data.data(), n);
+    auto r = BitonicTopKDevice(dev, *buf, n, 32);
+    ASSERT_FALSE(r.ok());  // reduction buffers do not fit
+  }
+  // RAII must return every byte, so the device is reusable.
+  EXPECT_EQ(dev.allocated_bytes(), before);
+  auto r2 = TopK(dev, data.data(), 256, 8);
+  EXPECT_TRUE(r2.ok()) << r2.status();
+}
+
+TEST(FailureInjectionTest, AllSentinelValuedInput) {
+  // Inputs consisting of the sentinel value itself still return k items
+  // with correct keys.
+  std::vector<float> data(4096, KeyTraits<float>::Lowest());
+  simt::Device dev;
+  auto r = TopK(dev, data.data(), data.size(), 16);
+  ASSERT_TRUE(r.ok());
+  for (float v : r->items) {
+    EXPECT_EQ(v, KeyTraits<float>::Lowest());
+  }
+}
+
+TEST(FailureInjectionTest, ExtremeValuesSurvive) {
+  auto data = GenerateFloats(1 << 14, Distribution::kUniform);
+  data[17] = 3.0e38f;
+  data[4242] = -3.0e38f;
+  data[99] = 0.0f;
+  data[100] = -0.0f;
+  for (auto algo : {Algorithm::kBitonic, Algorithm::kRadixSelect,
+                    Algorithm::kBucketSelect, Algorithm::kSort,
+                    Algorithm::kPerThread}) {
+    simt::Device dev;
+    auto r = TopK(dev, data.data(), data.size(), 4, algo);
+    ASSERT_TRUE(r.ok()) << AlgorithmName(algo);
+    EXPECT_EQ(r->items.front(), 3.0e38f) << AlgorithmName(algo);
+  }
+}
+
+TEST(FailureInjectionTest, ChunkedSurvivesTinyChunks) {
+  auto data = GenerateFloats(10000, Distribution::kUniform);
+  simt::Device dev;
+  // chunk_elems below 2k is clamped up.
+  auto r = ChunkedTopK(dev, data.data(), data.size(), 64, 1);
+  ASSERT_TRUE(r.ok()) << r.status();
+  std::vector<float> ref = data;
+  std::sort(ref.begin(), ref.end(), std::greater<float>());
+  EXPECT_EQ(r->items.front(), ref.front());
+}
+
+}  // namespace
+}  // namespace mptopk::gpu

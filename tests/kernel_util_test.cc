@@ -1,0 +1,184 @@
+// Unit tests for the shared device-side building blocks: FillDevice,
+// BlockExclusiveScan (property-tested across sizes), and TwoWayCompactTile.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "gputopk/kernel_util.h"
+
+namespace mptopk::gpu {
+namespace {
+
+using simt::Block;
+using simt::Device;
+using simt::GlobalSpan;
+using simt::Thread;
+
+TEST(FillDeviceTest, FillsExactRange) {
+  Device dev;
+  auto buf = dev.Alloc<uint32_t>(1000).value();
+  std::fill(buf.host_data(), buf.host_data() + 1000, 7u);
+  ASSERT_TRUE(FillDevice<uint32_t>(dev, buf, 100, 500, 42u).ok());
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(buf.host_data()[i], (i >= 100 && i < 600) ? 42u : 7u) << i;
+  }
+}
+
+TEST(FillDeviceTest, ZeroCountIsNoop) {
+  Device dev;
+  auto buf = dev.Alloc<uint32_t>(8).value();
+  size_t launches = dev.kernel_log().size();
+  ASSERT_TRUE(FillDevice<uint32_t>(dev, buf, 0, 0, 1u).ok());
+  EXPECT_EQ(dev.kernel_log().size(), launches);
+}
+
+class BlockScanTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BlockScanTest, MatchesSerialPrefixSum) {
+  const size_t n = GetParam();
+  Device dev;
+  std::mt19937 rng(n);
+  std::vector<uint32_t> input(n);
+  for (auto& v : input) v = rng() % 100;
+
+  auto out_buf = dev.Alloc<uint32_t>(n).value();
+  auto total_buf = dev.Alloc<uint32_t>(1).value();
+  GlobalSpan<uint32_t> out(out_buf), total_span(total_buf);
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = 256}, [&](Block& blk) {
+    auto data = blk.AllocShared<uint32_t>(n);
+    auto scratch = blk.AllocShared<uint32_t>(n);
+    blk.ForEachThread([&](Thread& t) {
+      for (size_t i = t.tid; i < n; i += 256) data.Write(t, i, input[i]);
+    });
+    blk.Sync();
+    uint32_t total = 0;
+    BlockExclusiveScan(blk, data, n, scratch, &total);
+    blk.ForEachThread([&](Thread& t) {
+      for (size_t i = t.tid; i < n; i += 256) out.Write(t, i, data.Read(t, i));
+      if (t.tid == 0) total_span.Write(t, 0, total);
+    });
+  });
+  ASSERT_TRUE(stats.ok());
+
+  uint32_t expect = 0;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out_buf.host_data()[i], expect) << "i=" << i;
+    expect += input[i];
+  }
+  EXPECT_EQ(total_buf.host_data()[0], expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockScanTest,
+                         ::testing::Values(1, 2, 3, 17, 255, 256, 257, 1000,
+                                           2048),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(TwoWayCompactTest, SplitsHiEqDrop) {
+  // Classify ints: >66 -> hi stream, ==66 -> eq stream, else dropped.
+  Device dev;
+  const size_t n = 4096;
+  std::mt19937 rng(5);
+  std::vector<int32_t> input(n);
+  for (auto& v : input) v = rng() % 100;
+
+  auto in_buf = dev.Alloc<int32_t>(n).value();
+  dev.CopyToDevice(in_buf, input.data(), n);
+  auto hi_buf = dev.Alloc<int32_t>(n).value();
+  auto eq_buf = dev.Alloc<int32_t>(n).value();
+  auto counters = dev.Alloc<uint32_t>(2).value();
+  counters.host_data()[0] = 0;
+  counters.host_data()[1] = 0;
+
+  GlobalSpan<int32_t> in(in_buf), hi(hi_buf), eq(eq_buf);
+  GlobalSpan<uint32_t> cnts(counters);
+  auto stats = dev.Launch({.grid_dim = 2, .block_dim = 256}, [&](Block& blk) {
+    auto w = TwoWayCompactWorkspace<int32_t>::Alloc(blk, 1024);
+    size_t lo = static_cast<size_t>(blk.block_idx()) * (n / 2);
+    for (size_t base = lo; base < lo + n / 2; base += 1024) {
+      TwoWayCompactTile<int32_t>(
+          blk, w, in, base, base + 1024,
+          [](int32_t v) { return v > 66 ? 1 : (v == 66 ? 0 : -1); }, hi,
+          /*out_hi_offset=*/0, eq, cnts);
+    }
+  });
+  ASSERT_TRUE(stats.ok());
+
+  size_t expect_hi = std::count_if(input.begin(), input.end(),
+                                   [](int v) { return v > 66; });
+  size_t expect_eq = std::count(input.begin(), input.end(), 66);
+  EXPECT_EQ(counters.host_data()[0], expect_hi);
+  EXPECT_EQ(counters.host_data()[1], expect_eq);
+
+  // The streams must hold exactly the matching multisets.
+  std::vector<int32_t> hi_out(hi_buf.host_data(),
+                              hi_buf.host_data() + expect_hi);
+  for (int32_t v : hi_out) EXPECT_GT(v, 66);
+  std::vector<int32_t> want_hi;
+  for (int32_t v : input) {
+    if (v > 66) want_hi.push_back(v);
+  }
+  std::sort(hi_out.begin(), hi_out.end());
+  std::sort(want_hi.begin(), want_hi.end());
+  EXPECT_EQ(hi_out, want_hi);
+  for (size_t i = 0; i < expect_eq; ++i) {
+    EXPECT_EQ(eq_buf.host_data()[i], 66);
+  }
+}
+
+TEST(TwoWayCompactTest, AllMatchAndNoneMatch) {
+  Device dev;
+  const size_t n = 2048;
+  std::vector<int32_t> input(n, 5);
+  auto in_buf = dev.Alloc<int32_t>(n).value();
+  dev.CopyToDevice(in_buf, input.data(), n);
+  auto hi_buf = dev.Alloc<int32_t>(n).value();
+  auto eq_buf = dev.Alloc<int32_t>(n).value();
+  auto counters = dev.Alloc<uint32_t>(2).value();
+
+  for (auto [cls, expect_hi] :
+       std::vector<std::pair<int, size_t>>{{1, n}, {-1, 0}}) {
+    counters.host_data()[0] = 0;
+    counters.host_data()[1] = 0;
+    GlobalSpan<int32_t> in(in_buf), hi(hi_buf), eq(eq_buf);
+    GlobalSpan<uint32_t> cnts(counters);
+    auto stats = dev.Launch({.grid_dim = 1, .block_dim = 256},
+                            [&](Block& blk) {
+      auto w = TwoWayCompactWorkspace<int32_t>::Alloc(blk, 1024);
+      for (size_t base = 0; base < n; base += 1024) {
+        TwoWayCompactTile<int32_t>(
+            blk, w, in, base, base + 1024,
+            [cls](int32_t) { return cls; }, hi, 0, eq, cnts);
+      }
+    });
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(counters.host_data()[0], expect_hi);
+    EXPECT_EQ(counters.host_data()[1], 0u);
+  }
+}
+
+TEST(TracerDeterminismTest, SampledTimingIsStable) {
+  // Repeated sampled launches of the same kernel produce identical
+  // simulated times (the foundation of reproducible benches).
+  auto run = [] {
+    Device dev;
+    dev.set_trace_sample_target(4);
+    auto buf = dev.Alloc<float>(1 << 14).value();
+    GlobalSpan<float> g(buf);
+    auto stats = dev.Launch({.grid_dim = 64, .block_dim = 256},
+                            [&](Block& blk) {
+      blk.ForEachThread([&](Thread& t) {
+        size_t i = (static_cast<size_t>(blk.block_idx()) * 256 + t.tid) %
+                   (1 << 14);
+        g.Write(t, i, 1.f);
+      });
+    });
+    return stats->time.total_ms;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace mptopk::gpu

@@ -1,0 +1,78 @@
+// Dedicated tests for the LSD radix sort (the Sort baseline): full-array
+// ordering, stability, and type coverage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/distributions.h"
+#include "gputopk/radix_sort.h"
+
+namespace mptopk::gpu {
+namespace {
+
+template <typename E>
+std::vector<E> SortOnDevice(const std::vector<E>& data) {
+  simt::Device dev;
+  auto in = dev.Alloc<E>(data.size()).value();
+  dev.CopyToDevice(in, data.data(), data.size());
+  auto out = dev.Alloc<E>(data.size()).value();
+  EXPECT_TRUE(RadixSortDevice(dev, in, data.size(), &out).ok());
+  std::vector<E> result(data.size());
+  dev.CopyToHost(result.data(), out, data.size());
+  return result;
+}
+
+TEST(RadixSortTest, SortsFloatsAscending) {
+  auto data = GenerateFloats(100000, Distribution::kUniform, 3);
+  auto sorted = SortOnDevice(data);
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(sorted, expect);
+}
+
+TEST(RadixSortTest, SortsNegativeInts) {
+  auto data = GenerateI32(1 << 15, Distribution::kUniform, 4);
+  auto sorted = SortOnDevice(data);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(RadixSortTest, SortsDoublesEightPasses) {
+  auto data = GenerateDoubles(1 << 14, Distribution::kUniform, 5);
+  auto sorted = SortOnDevice(data);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(RadixSortTest, StableOnEqualKeys) {
+  // Many duplicate keys with distinct payloads: LSD radix sort must keep
+  // equal-key elements in input order.
+  std::vector<KV> data(1 << 14);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = KV{static_cast<float>(i % 7), static_cast<uint32_t>(i)};
+  }
+  auto sorted = SortOnDevice(data);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    ASSERT_LE(sorted[i - 1].key, sorted[i].key) << i;
+    if (sorted[i - 1].key == sorted[i].key) {
+      EXPECT_LT(sorted[i - 1].value, sorted[i].value)
+          << "stability violated at " << i;
+    }
+  }
+}
+
+TEST(RadixSortTest, NonPowerOfTwoAndTinyInputs) {
+  for (size_t n : {1, 2, 3, 100, 2049, 65537}) {
+    auto data = GenerateFloats(n, Distribution::kUniform, n);
+    auto sorted = SortOnDevice(data);
+    EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end())) << "n=" << n;
+  }
+}
+
+TEST(RadixSortTest, RejectsSmallOutputBuffer) {
+  simt::Device dev;
+  auto in = dev.Alloc<float>(100).value();
+  auto out = dev.Alloc<float>(50).value();
+  EXPECT_FALSE(RadixSortDevice(dev, in, 100, &out).ok());
+}
+
+}  // namespace
+}  // namespace mptopk::gpu

@@ -1,0 +1,423 @@
+// Tests for the SIMT device simulator: coalescing analysis, shared-memory
+// bank-conflict analysis, divergence accounting, barriers, occupancy and the
+// timing model.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "simt/device.h"
+
+namespace mptopk::simt {
+namespace {
+
+Device MakeDevice() { return Device(DeviceSpec::TitanXMaxwell()); }
+
+// --- Allocation ----------------------------------------------------------------
+
+TEST(DeviceAllocTest, TracksCapacity) {
+  Device dev = MakeDevice();
+  auto a = dev.Alloc<float>(1000);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(dev.allocated_bytes(), 4000u);
+  {
+    auto b = dev.Alloc<double>(500);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(dev.allocated_bytes(), 8000u);
+  }
+  EXPECT_EQ(dev.allocated_bytes(), 4000u);  // b released
+}
+
+TEST(DeviceAllocTest, ExhaustionIsReported) {
+  DeviceSpec spec = DeviceSpec::TitanXMaxwell();
+  spec.global_mem_bytes = 1024;
+  Device dev((spec));
+  auto a = dev.Alloc<float>(200);
+  ASSERT_TRUE(a.ok());
+  auto b = dev.Alloc<float>(200);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DeviceAllocTest, DistinctDeviceAddresses) {
+  Device dev = MakeDevice();
+  auto a = dev.Alloc<float>(10).value();
+  auto b = dev.Alloc<float>(10).value();
+  EXPECT_NE(a.device_addr(), b.device_addr());
+  EXPECT_GE(b.device_addr(), a.device_addr() + 40);
+}
+
+// --- Functional execution -------------------------------------------------------
+
+TEST(LaunchTest, GridCopiesData) {
+  Device dev = MakeDevice();
+  const int n = 4096;
+  auto in = dev.Alloc<int>(n).value();
+  auto out = dev.Alloc<int>(n).value();
+  std::iota(in.host_data(), in.host_data() + n, 0);
+
+  GlobalSpan<int> gin(in), gout(out);
+  auto stats = dev.Launch({.grid_dim = 16, .block_dim = 256}, [&](Block& blk) {
+    blk.ForEachThread([&](Thread& t) {
+      size_t i = static_cast<size_t>(blk.block_idx()) * blk.block_dim() + t.tid;
+      gout.Write(t, i, gin.Read(t, i) * 2);
+    });
+  });
+  ASSERT_TRUE(stats.ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(out.host_data()[i], 2 * i);
+  }
+}
+
+TEST(LaunchTest, SharedMemoryCommunicatesAcrossBarrier) {
+  Device dev = MakeDevice();
+  const int n = 256;
+  auto out = dev.Alloc<int>(n).value();
+  GlobalSpan<int> gout(out);
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = n}, [&](Block& blk) {
+    auto smem = blk.AllocShared<int>(n);
+    blk.ForEachThread([&](Thread& t) { smem.Write(t, t.tid, t.tid); });
+    blk.Sync();
+    // Reverse through shared memory.
+    blk.ForEachThread([&](Thread& t) {
+      gout.Write(t, t.tid, smem.Read(t, n - 1 - t.tid));
+    });
+  });
+  ASSERT_TRUE(stats.ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(out.host_data()[i], n - 1 - i);
+  }
+}
+
+TEST(LaunchTest, SharedOverAllocationFails) {
+  Device dev = MakeDevice();
+  auto st = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    blk.AllocShared<float>(64 * 1024 / 4 + 1);  // > 48 KiB? 64KiB+4B
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(LaunchTest, BlockDimValidated) {
+  Device dev = MakeDevice();
+  auto st = dev.Launch({.grid_dim = 1, .block_dim = 2048}, [](Block&) {});
+  EXPECT_FALSE(st.ok());
+}
+
+// --- Coalescing analysis --------------------------------------------------------
+
+TEST(CoalescingTest, FullyCoalescedWarpIsFourSectors) {
+  Device dev = MakeDevice();
+  auto buf = dev.Alloc<float>(32).value();
+  GlobalSpan<float> g(buf);
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    blk.ForEachThread([&](Thread& t) { g.Read(t, t.tid); });
+  });
+  ASSERT_TRUE(stats.ok());
+  // 32 lanes * 4B contiguous = 128B = 4 sectors of 32B.
+  EXPECT_EQ(stats->metrics.global_transactions, 4u);
+  EXPECT_EQ(stats->metrics.global_bytes, 128u);
+  EXPECT_EQ(stats->metrics.global_useful_bytes, 128u);
+  EXPECT_EQ(stats->metrics.warp_instructions, 1u);
+}
+
+TEST(CoalescingTest, StridedWarpWastesBandwidth) {
+  Device dev = MakeDevice();
+  auto buf = dev.Alloc<float>(32 * 32).value();
+  GlobalSpan<float> g(buf);
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    blk.ForEachThread([&](Thread& t) { g.Read(t, t.tid * 32); });
+  });
+  ASSERT_TRUE(stats.ok());
+  // Each lane touches its own 32B sector: 32 transactions, 1 KiB moved for
+  // 128 useful bytes.
+  EXPECT_EQ(stats->metrics.global_transactions, 32u);
+  EXPECT_EQ(stats->metrics.global_bytes, 1024u);
+  EXPECT_EQ(stats->metrics.global_useful_bytes, 128u);
+}
+
+TEST(CoalescingTest, SameAddressReadsOneSector) {
+  Device dev = MakeDevice();
+  auto buf = dev.Alloc<float>(32).value();
+  GlobalSpan<float> g(buf);
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    blk.ForEachThread([&](Thread& t) { g.Read(t, 0); });
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->metrics.global_transactions, 1u);
+}
+
+TEST(CoalescingTest, DoubleKeysCoalesceAcrossEightSectors) {
+  Device dev = MakeDevice();
+  auto buf = dev.Alloc<double>(32).value();
+  GlobalSpan<double> g(buf);
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    blk.ForEachThread([&](Thread& t) { g.Read(t, t.tid); });
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->metrics.global_bytes, 256u);
+  EXPECT_EQ(stats->metrics.global_useful_bytes, 256u);
+}
+
+// --- Bank conflict analysis ------------------------------------------------------
+
+TEST(BankConflictTest, ConsecutiveWordsConflictFree) {
+  Device dev = MakeDevice();
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    auto smem = blk.AllocShared<float>(64);
+    blk.ForEachThread([&](Thread& t) { smem.Write(t, t.tid, 1.0f); });
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->metrics.shared_cycles, 1u);
+  EXPECT_EQ(stats->metrics.bank_conflict_cycles, 0u);
+}
+
+TEST(BankConflictTest, Stride32IsThirtyTwoWayConflict) {
+  Device dev = MakeDevice();
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    auto smem = blk.AllocShared<float>(32 * 32);
+    blk.ForEachThread([&](Thread& t) { smem.Write(t, t.tid * 32, 1.0f); });
+  });
+  ASSERT_TRUE(stats.ok());
+  // All lanes hit bank 0 with distinct words: 32 replays.
+  EXPECT_EQ(stats->metrics.shared_cycles, 32u);
+  EXPECT_EQ(stats->metrics.bank_conflict_cycles, 31u);
+}
+
+TEST(BankConflictTest, Stride2IsTwoWayConflict) {
+  Device dev = MakeDevice();
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    auto smem = blk.AllocShared<float>(64);
+    blk.ForEachThread([&](Thread& t) { smem.Read(t, t.tid * 2); });
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->metrics.shared_cycles, 2u);
+  EXPECT_EQ(stats->metrics.bank_conflict_cycles, 1u);
+}
+
+TEST(BankConflictTest, BroadcastIsFree) {
+  Device dev = MakeDevice();
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    auto smem = blk.AllocShared<float>(32);
+    blk.ForEachThread([&](Thread& t) {
+      (void)t;
+      smem.Read(t, 5);  // all lanes, same word
+    });
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->metrics.shared_cycles, 1u);
+  EXPECT_EQ(stats->metrics.bank_conflict_cycles, 0u);
+}
+
+TEST(BankConflictTest, PaddingBreaksColumnConflicts) {
+  // Column access of a [32][32] matrix conflicts; padding to [32][33] fixes
+  // it. This is precisely the paper's "Breaking Conflicts with Padding".
+  Device dev = MakeDevice();
+  auto unpadded = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    auto smem = blk.AllocShared<float>(32 * 32);
+    blk.ForEachThread([&](Thread& t) { smem.Read(t, t.tid * 32 + 3); });
+  });
+  auto padded = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    auto smem = blk.AllocShared<float>(32 * 33);
+    blk.ForEachThread([&](Thread& t) { smem.Read(t, t.tid * 33 + 3); });
+  });
+  ASSERT_TRUE(unpadded.ok());
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(unpadded->metrics.shared_cycles, 32u);
+  EXPECT_EQ(padded->metrics.shared_cycles, 1u);
+}
+
+TEST(BankConflictTest, SameWordAtomicsAggregate) {
+  // Same-word atomics within a warp are hardware-aggregated into one update
+  // (plus the read-modify-write cycle); functional fetch-add values remain
+  // per-lane unique.
+  Device dev = MakeDevice();
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    auto smem = blk.AllocShared<uint32_t>(32);
+    blk.ForEachThread([&](Thread& t) {
+      (void)t;
+      smem.AtomicAdd(t, 0, 1u);  // all lanes same counter
+    });
+    blk.ForEachThread([&](Thread& t) {
+      if (t.tid == 0) {
+        EXPECT_EQ(smem.Read(t, 0), 32u);
+      }
+    });
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->metrics.shared_atomic_cycles, 2u);
+}
+
+TEST(BankConflictTest, DistinctWordAtomicsOnOneBankReplay) {
+  Device dev = MakeDevice();
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    auto smem = blk.AllocShared<uint32_t>(32 * 32);
+    blk.ForEachThread([&](Thread& t) {
+      smem.AtomicAdd(t, t.tid * 32, 1u);  // all lanes bank 0, distinct words
+    });
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->metrics.shared_atomic_cycles, 33u);  // 32 replays + RMW
+}
+
+// --- Divergence & barriers -------------------------------------------------------
+
+TEST(DivergenceTest, RaggedAccessCountsIdleLanes) {
+  Device dev = MakeDevice();
+  auto buf = dev.Alloc<float>(1024).value();
+  GlobalSpan<float> g(buf);
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    blk.ForEachThread([&](Thread& t) {
+      // Lane 0 does 4 accesses, everyone else 1: three warp instructions
+      // run with a single active lane.
+      int reps = t.tid == 0 ? 4 : 1;
+      for (int r = 0; r < reps; ++r) g.Read(t, t.tid + 32 * r);
+    });
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->metrics.warp_instructions, 4u);
+  EXPECT_EQ(stats->metrics.divergent_lane_slots, 3u * 31u);
+}
+
+TEST(BarrierTest, EpochsDoNotMergeAcrossSync) {
+  Device dev = MakeDevice();
+  // Region 1: lane 0 accesses twice; region 2: all lanes access once. With
+  // epoch alignment region 2 must be exactly one warp instruction, not merge
+  // into lane 0's leftover sequence slot.
+  auto stats = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    auto smem = blk.AllocShared<float>(128);
+    blk.ForEachThread([&](Thread& t) {
+      smem.Write(t, t.tid, 0.f);
+      if (t.tid == 0) smem.Write(t, 64, 0.f);
+    });
+    blk.Sync();
+    blk.ForEachThread([&](Thread& t) { smem.Read(t, t.tid); });
+  });
+  ASSERT_TRUE(stats.ok());
+  // warp instructions: region1 = 2 (full write + lone write), region2 = 1.
+  EXPECT_EQ(stats->metrics.warp_instructions, 3u);
+  EXPECT_EQ(stats->metrics.shared_cycles, 3u);
+}
+
+// --- Sampling ----------------------------------------------------------------------
+
+TEST(SamplingTest, SampledMetricsMatchFullTrace) {
+  const int kGrid = 64;
+  auto run = [&](int sample_target) {
+    Device dev = MakeDevice();
+    dev.set_trace_sample_target(sample_target);
+    auto buf = dev.Alloc<float>(kGrid * 256).value();
+    GlobalSpan<float> g(buf);
+    auto stats = dev.Launch({.grid_dim = kGrid, .block_dim = 256},
+                            [&](Block& blk) {
+      blk.ForEachThread([&](Thread& t) {
+        size_t i =
+            static_cast<size_t>(blk.block_idx()) * blk.block_dim() + t.tid;
+        g.Write(t, i, 1.0f);
+      });
+    });
+    return stats->metrics;
+  };
+  KernelMetrics full = run(0);
+  KernelMetrics sampled = run(8);
+  EXPECT_EQ(full.global_bytes, sampled.global_bytes);
+  EXPECT_EQ(full.global_transactions, sampled.global_transactions);
+  EXPECT_LT(sampled.blocks_traced, full.blocks_traced);
+}
+
+// --- Occupancy / timing --------------------------------------------------------------
+
+TEST(OccupancyTest, SharedMemoryLimitsResidency) {
+  DeviceSpec spec = DeviceSpec::TitanXMaxwell();
+  // 32 KiB per block -> 3 blocks/SM on 96 KiB.
+  Occupancy occ = ComputeOccupancy(
+      spec, KernelResources{.grid_dim = 1000, .block_dim = 256,
+                            .regs_per_thread = 32,
+                            .shared_bytes_per_block = 32 * 1024});
+  EXPECT_EQ(occ.blocks_per_sm, 3);
+  EXPECT_EQ(occ.warps_per_sm, 24);
+  EXPECT_DOUBLE_EQ(occ.bw_efficiency, 1.0);
+}
+
+TEST(OccupancyTest, TinyBlocksWithHugeSharedStarveBandwidth) {
+  DeviceSpec spec = DeviceSpec::TitanXMaxwell();
+  // The per-thread top-k regime at k=256: 32-thread blocks with 32 KiB each.
+  Occupancy occ = ComputeOccupancy(
+      spec, KernelResources{.grid_dim = 1000, .block_dim = 32,
+                            .regs_per_thread = 32,
+                            .shared_bytes_per_block = 32 * 1024});
+  EXPECT_EQ(occ.blocks_per_sm, 3);
+  EXPECT_EQ(occ.warps_per_sm, 3);
+  EXPECT_LT(occ.bw_efficiency, 0.25);
+}
+
+TEST(OccupancyTest, RegisterPressureLimitsResidency) {
+  DeviceSpec spec = DeviceSpec::TitanXMaxwell();
+  Occupancy light = ComputeOccupancy(
+      spec, KernelResources{.grid_dim = 1000, .block_dim = 256,
+                            .regs_per_thread = 32,
+                            .shared_bytes_per_block = 0});
+  Occupancy heavy = ComputeOccupancy(
+      spec, KernelResources{.grid_dim = 1000, .block_dim = 256,
+                            .regs_per_thread = 128,
+                            .shared_bytes_per_block = 0});
+  EXPECT_GT(light.warps_per_sm, heavy.warps_per_sm);
+}
+
+TEST(TimingTest, GlobalBoundKernelMatchesBandwidthFloor) {
+  // Reading D bytes perfectly coalesced at full occupancy should take
+  // ~D / 251 GBps.
+  Device dev = MakeDevice();
+  const int grid = 256, block = 256;
+  const size_t n = static_cast<size_t>(grid) * block * 4;  // 4 floats/thread
+  auto buf = dev.Alloc<float>(n).value();
+  auto out = dev.Alloc<float>(grid).value();
+  GlobalSpan<float> g(buf), go(out);
+  auto stats = dev.Launch({.grid_dim = grid, .block_dim = block},
+                          [&](Block& blk) {
+    blk.ForEachThread([&](Thread& t) {
+      float acc = 0;
+      for (int r = 0; r < 4; ++r) {
+        size_t i = (static_cast<size_t>(blk.block_idx()) * blk.block_dim()) *
+                       4 + r * blk.block_dim() + t.tid;
+        acc += g.Read(t, i);
+      }
+      if (t.tid == 0) go.Write(t, blk.block_idx(), acc);
+    });
+  });
+  ASSERT_TRUE(stats.ok());
+  double expect_ms = static_cast<double>(n * 4) / (251.0 * 1e9) * 1e3;
+  EXPECT_NEAR(stats->time.global_ms, expect_ms, expect_ms * 0.05);
+  EXPECT_GE(stats->time.total_ms, stats->time.global_ms);
+}
+
+TEST(TimingTest, DeviceAccumulatesAcrossLaunches) {
+  Device dev = MakeDevice();
+  auto buf = dev.Alloc<float>(1024).value();
+  GlobalSpan<float> g(buf);
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(dev.Launch({.grid_dim = 4, .block_dim = 256}, [&](Block& blk) {
+      blk.ForEachThread([&](Thread& t) {
+        g.Write(t, (blk.block_idx() * blk.block_dim() + t.tid) % 1024, 0.f);
+      });
+    }).ok());
+  }
+  EXPECT_EQ(dev.kernel_log().size(), 3u);
+  EXPECT_GT(dev.total_sim_ms(), 0.0);
+  dev.ResetAccounting();
+  EXPECT_EQ(dev.total_sim_ms(), 0.0);
+  EXPECT_TRUE(dev.kernel_log().empty());
+}
+
+TEST(TimingTest, PcieStagingAccounted) {
+  Device dev = MakeDevice();
+  auto buf = dev.Alloc<float>(1 << 20).value();
+  std::vector<float> host(1 << 20, 1.0f);
+  dev.CopyToDevice(buf, host.data(), host.size());
+  double expect_ms = (4.0 * (1 << 20)) / (12.0 * 1e9) * 1e3;
+  EXPECT_NEAR(dev.pcie_ms(), expect_ms, expect_ms * 0.01);
+}
+
+}  // namespace
+}  // namespace mptopk::simt

@@ -1,0 +1,103 @@
+// Validation of the synthetic tweets generator against the dataset
+// properties the paper's queries depend on (Section 6.8 substitution).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "engine/tweets.h"
+
+namespace mptopk::engine {
+namespace {
+
+class TweetsGenTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kRows = 1 << 16;
+  simt::Device dev;
+  std::unique_ptr<Table> table =
+      std::move(MakeTweetsTable(&dev, kRows, 77)).value();
+
+  const int32_t* Col(const char* name) {
+    return table->GetColumn(name).value()->i32.host_data();
+  }
+};
+
+TEST_F(TweetsGenTest, SchemaComplete) {
+  EXPECT_EQ(table->num_rows(), kRows);
+  for (const char* c :
+       {"tweet_time", "retweet_count", "likes_count", "lang", "uid"}) {
+    ASSERT_TRUE(table->HasColumn(c)) << c;
+    EXPECT_EQ(table->GetColumn(c).value()->type, ColumnType::kInt32) << c;
+  }
+  EXPECT_EQ(table->GetColumn("id").value()->type, ColumnType::kInt64);
+}
+
+TEST_F(TweetsGenTest, IdsUnique) {
+  const int64_t* id = table->GetColumn("id").value()->i64.host_data();
+  std::set<int64_t> s(id, id + kRows);
+  EXPECT_EQ(s.size(), kRows);
+}
+
+TEST_F(TweetsGenTest, LangSelectivityMatchesPaperQuery3) {
+  const int32_t* lang = Col("lang");
+  size_t en_es = 0;
+  for (size_t i = 0; i < kRows; ++i) {
+    en_es += lang[i] == kLangEn || lang[i] == kLangEs;
+  }
+  EXPECT_NEAR(static_cast<double>(en_es) / kRows, 0.80, 0.02)
+      << "paper: 'selectivity of around 80%'";
+}
+
+TEST_F(TweetsGenTest, TimeUniformForSelectivitySweep) {
+  const int32_t* t = Col("tweet_time");
+  size_t below_half = 0;
+  for (size_t i = 0; i < kRows; ++i) {
+    ASSERT_GE(t[i], 0);
+    ASSERT_LT(t[i], kTweetTimeRange);
+    below_half += t[i] < kTweetTimeRange / 2;
+  }
+  EXPECT_NEAR(static_cast<double>(below_half) / kRows, 0.5, 0.02);
+}
+
+TEST_F(TweetsGenTest, UsersRoughlyQuarterOfRowsAndSkewed) {
+  const int32_t* uid = Col("uid");
+  std::set<int32_t> users(uid, uid + kRows);
+  // ~rows/4 possible users; the square-skew leaves most of them observed.
+  EXPECT_GT(users.size(), kRows / 8);
+  EXPECT_LE(users.size(), kRows / 2);
+  // Skew: the busiest user tweets far more than average.
+  std::map<int32_t, int> counts;
+  for (size_t i = 0; i < kRows; ++i) counts[uid[i]]++;
+  int max_count = 0;
+  for (auto& [u, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 20) << "Q4's top users must stand out";
+}
+
+TEST_F(TweetsGenTest, RetweetsHeavyTailed) {
+  const int32_t* rt = Col("retweet_count");
+  size_t zero_or_low = 0;
+  int32_t max_rt = 0;
+  for (size_t i = 0; i < kRows; ++i) {
+    zero_or_low += rt[i] <= 2;
+    max_rt = std::max(max_rt, rt[i]);
+  }
+  EXPECT_GT(static_cast<double>(zero_or_low) / kRows, 0.5)
+      << "most tweets get few retweets";
+  EXPECT_GT(max_rt, 10000) << "a few go viral";
+}
+
+TEST_F(TweetsGenTest, DeterministicPerSeed) {
+  simt::Device d2;
+  auto t2 = std::move(MakeTweetsTable(&d2, kRows, 77)).value();
+  const int32_t* a = Col("retweet_count");
+  const int32_t* b = t2->GetColumn("retweet_count").value()->i32.host_data();
+  EXPECT_TRUE(std::equal(a, a + kRows, b));
+}
+
+TEST_F(TweetsGenTest, RejectsZeroRows) {
+  simt::Device d2;
+  EXPECT_FALSE(MakeTweetsTable(&d2, 0).ok());
+}
+
+}  // namespace
+}  // namespace mptopk::engine
