@@ -1,0 +1,104 @@
+// Resilience overhead / recovery-latency study (docs/robustness.md):
+//
+//   * fault-free overhead of planner::ResilientTopK (planning + staging +
+//     result verification) against the direct PlannedTopKDevice path, and
+//   * recovery latency when one transient transfer fault is injected — the
+//     wasted attempt plus the executor's simulated backoff.
+//
+// All numbers are simulated device milliseconds, so every column is
+// deterministic under a fixed seed.
+#include "bench/bench_util.h"
+#include "planner/plan_topk.h"
+#include "planner/resilient.h"
+#include "simt/fault_injection.h"
+
+namespace mptopk::bench {
+namespace {
+
+double DeviceMs(const simt::Device& dev) {
+  return dev.total_sim_ms() + dev.pcie_ms();
+}
+
+// Direct path: stage the input, plan once, run the chosen algorithm.
+double RunDirect(const std::vector<float>& data, size_t k, int trace_sample) {
+  simt::Device dev;
+  dev.set_trace_sample_target(trace_sample);
+  auto buf = dev.Alloc<float>(data.size());
+  if (!buf.ok()) return kNaN;
+  if (!dev.CopyToDevice(*buf, data.data(), data.size()).ok()) return kNaN;
+  auto r = planner::PlannedTopKDevice(dev, *buf, data.size(), k);
+  if (!r.ok()) return kNaN;
+  return DeviceMs(dev);
+}
+
+// Resilient path, optionally under a fault plan. Returns total simulated ms
+// and (via out-params) the fault-added latency and the report summary.
+double RunResilient(const std::vector<float>& data, size_t k,
+                    int trace_sample, const simt::FaultPlanConfig* faults,
+                    double* added_ms, std::string* summary) {
+  simt::Device dev;
+  dev.set_trace_sample_target(trace_sample);
+  if (faults != nullptr) {
+    dev.set_fault_plan(std::make_shared<simt::FaultPlan>(*faults));
+  }
+  auto r = planner::ResilientTopK(dev, data.data(), data.size(), k);
+  if (!r.ok()) return kNaN;
+  *added_ms = r->report.added_latency_ms;
+  *summary = r->report.Summary();
+  return r->report.total_device_ms;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags, "20");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    flags.PrintHelp(argv[0]);
+    return 0;
+  }
+  const size_t n = size_t{1} << flags.GetInt("n_log2");
+  const bool csv = flags.GetBool("csv");
+  const int ts = static_cast<int>(flags.GetInt("trace_sample"));
+  const uint64_t seed = flags.GetInt("seed");
+  auto data = GenerateFloats(n, Distribution::kUniform, seed);
+
+  std::printf("# Resilient executor: fault-free overhead vs direct planned "
+              "execution, and recovery\n"
+              "# latency with one transient transfer fault "
+              "(n=2^%lld f32 keys, simulated ms)\n",
+              static_cast<long long>(flags.GetInt("n_log2")));
+  TablePrinter table({"k", "Direct", "Resilient", "Overhead%", "Faulted",
+                      "AddedLatency"});
+  std::string last_summary;
+  for (size_t k : PowersOfTwo(16, 1024)) {
+    const double direct = RunDirect(data, k, ts);
+    double clean_added = 0, faulted_added = 0;
+    std::string summary;
+    const double resilient =
+        RunResilient(data, k, ts, nullptr, &clean_added, &summary);
+    // One transient fault on the first in-algorithm transfer (the input
+    // staging copy is transfer #1).
+    simt::FaultPlanConfig cfg;
+    cfg.seed = seed;
+    cfg.fail_transfer_index = 2;
+    const double faulted =
+        RunResilient(data, k, ts, &cfg, &faulted_added, &last_summary);
+    const double overhead = (resilient - direct) / direct * 100.0;
+    table.AddRow({std::to_string(k), TablePrinter::Cell(direct, 3),
+                  TablePrinter::Cell(resilient, 3),
+                  TablePrinter::Cell(overhead, 2),
+                  TablePrinter::Cell(faulted, 3),
+                  TablePrinter::Cell(faulted_added, 3)});
+  }
+  PrintTable(table, csv);
+  std::printf("# faulted-run report: %s\n", last_summary.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace mptopk::bench
+
+int main(int argc, char** argv) { return mptopk::bench::Main(argc, argv); }

@@ -10,7 +10,16 @@
 // * signed ints: flip the sign bit (two's-complement bias).
 // * floats/doubles: flip the sign bit for non-negatives, flip all bits for
 //   negatives (the classic "radix-sortable float" trick). Total order over
-//   all non-NaN values, with -0.0 < +0.0.
+//   all values, with -0.0 < +0.0.
+//
+// NaN ordering (the library-wide contract, enforced here so every algorithm
+// — radix- and comparison-based alike — agrees): every NaN, regardless of
+// sign or payload bits, maps to the single greatest ordered value. Hence
+// NaN > +Inf, all NaNs compare equal to each other, and a NaN that enters a
+// top-k result is returned as the canonical quiet NaN (payload bits are not
+// preserved). Comparison-based algorithms obtain the same order through
+// ElementTraits<E>::Less, which compares ordered bits for float keys. See
+// docs/robustness.md ("Degenerate inputs").
 #ifndef MPTOPK_COMMON_KEY_TRANSFORM_H_
 #define MPTOPK_COMMON_KEY_TRANSFORM_H_
 
@@ -66,11 +75,12 @@ struct KeyTraits<int64_t> {
 template <>
 struct KeyTraits<float> {
   using Unsigned = uint32_t;
-  static Unsigned ToOrderedBits(float v) {
+  static constexpr Unsigned ToOrderedBits(float v) {
+    if (v != v) return 0xFFFFFFFFu;  // canonical NaN: the greatest key
     uint32_t bits = std::bit_cast<uint32_t>(v);
     return (bits & 0x80000000u) ? ~bits : (bits | 0x80000000u);
   }
-  static float FromOrderedBits(Unsigned u) {
+  static constexpr float FromOrderedBits(Unsigned u) {
     uint32_t bits = (u & 0x80000000u) ? (u & 0x7FFFFFFFu) : ~u;
     return std::bit_cast<float>(bits);
   }
@@ -80,18 +90,40 @@ struct KeyTraits<float> {
 template <>
 struct KeyTraits<double> {
   using Unsigned = uint64_t;
-  static Unsigned ToOrderedBits(double v) {
+  static constexpr Unsigned ToOrderedBits(double v) {
+    if (v != v) return 0xFFFFFFFFFFFFFFFFull;  // canonical NaN: greatest key
     uint64_t bits = std::bit_cast<uint64_t>(v);
     return (bits & 0x8000000000000000ull) ? ~bits
                                           : (bits | 0x8000000000000000ull);
   }
-  static double FromOrderedBits(Unsigned u) {
+  static constexpr double FromOrderedBits(Unsigned u) {
     uint64_t bits =
         (u & 0x8000000000000000ull) ? (u & 0x7FFFFFFFFFFFFFFFull) : ~u;
     return std::bit_cast<double>(bits);
   }
   static constexpr double Lowest() { return -1.7976931348623157e+308; }
 };
+
+/// Total-order comparison through the ordered bit pattern. For integer keys
+/// this is the native comparison; for float keys it adds the NaN contract
+/// above (NaN greatest, -0.0 < +0.0). All comparison-based top-k code uses
+/// this (via ElementTraits<E>::Less) so radix- and comparison-based
+/// algorithms rank identically.
+template <typename T>
+constexpr bool OrderedLess(const T& a, const T& b) {
+  return KeyTraits<T>::ToOrderedBits(a) < KeyTraits<T>::ToOrderedBits(b);
+}
+
+/// True when the key is NaN (never true for integer keys).
+template <typename T>
+constexpr bool IsNanKey(const T& v) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return v != v;
+  } else {
+    (void)v;
+    return false;
+  }
+}
 
 /// Concept for types usable as top-k sort keys.
 template <typename T>

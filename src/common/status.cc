@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace mptopk {
 
 const char* StatusCodeName(StatusCode code) {
@@ -16,8 +19,20 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
 
+namespace internal {
+
+void DieOnBadStatusAccess(const Status& status) {
+  std::fprintf(stderr, "StatusOr::value() called on error state: %s\n",
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 }  // namespace mptopk

@@ -4,11 +4,12 @@
 // this mirrors the error-handling style of Arrow / RocksDB. The set of codes
 // is deliberately small: the library mostly fails on resource exhaustion
 // (e.g. the per-thread top-k heap exceeding device shared memory, paper
-// Section 4.1) or invalid arguments (non-power-of-two k, k > n, ...).
+// Section 4.1), invalid arguments (non-power-of-two k, k > n, ...) or — with
+// fault injection enabled (simt/fault_injection.h) — transient device faults
+// (kUnavailable, the only retryable code; see docs/robustness.md).
 #ifndef MPTOPK_COMMON_STATUS_H_
 #define MPTOPK_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -23,10 +24,19 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  /// A transient fault (device transfer hiccup, aborted launch): the exact
+  /// same operation may succeed if simply retried. The only retryable code.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
 const char* StatusCodeName(StatusCode code);
+
+/// True when an operation failing with this code may succeed on retry
+/// (without changing algorithm, configuration or inputs).
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
 
 /// Result of a fallible operation: a code plus a context message.
 class Status {
@@ -51,10 +61,25 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// True for failures that may clear on retry (see IsRetryable(code)).
+  bool IsRetryable() const { return mptopk::IsRetryable(code_); }
+
+  /// Returns a copy with `context` prepended to the message, preserving the
+  /// code — used to annotate a propagated error with the operation that hit
+  /// it ("BitonicTopK attempt 2: <original message>"). No-op on OK.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    if (message_.empty()) return Status(code_, context);
+    return Status(code_, context + ": " + message_);
+  }
 
   std::string ToString() const {
     if (ok()) return "OK";
@@ -70,13 +95,24 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
 
-/// Either a value of type T or an error Status. `value()` asserts on error;
-/// check `ok()` (or `status()`) first.
+namespace internal {
+/// Aborts with the status printed to stderr. Out of line so the header does
+/// not pull in <cstdio>; never returns.
+[[noreturn]] void DieOnBadStatusAccess(const Status& status);
+}  // namespace internal
+
+/// Either a value of type T or an error Status. `value()` aborts (with the
+/// status message) when called in the error state — in every build type, so
+/// release builds fail loudly instead of reading an empty optional. Check
+/// `ok()` (or `status()`) first.
 template <typename T>
 class StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
-    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+    if (status_.ok()) {
+      internal::DieOnBadStatusAccess(
+          Status::Internal("StatusOr constructed from OK status without value"));
+    }
   }
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
 
@@ -84,15 +120,15 @@ class StatusOr {
   const Status& status() const { return status_; }
 
   T& value() & {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   const T& value() const& {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckOk();
     return std::move(*value_);
   }
 
@@ -102,6 +138,10 @@ class StatusOr {
   const T* operator->() const { return &value(); }
 
  private:
+  void CheckOk() const {
+    if (!ok()) internal::DieOnBadStatusAccess(status_);
+  }
+
   Status status_;
   std::optional<T> value_;
 };

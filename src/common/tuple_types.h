@@ -48,7 +48,11 @@ template <typename E>
 struct ElementTraits {
   using Key = E;
   static constexpr Key PrimaryKey(const E& e) { return e; }
-  static constexpr bool Less(const E& a, const E& b) { return a < b; }
+  // Ordered-bits comparison: identical to `<` for integer keys, and the
+  // library's canonical NaN-greatest total order for float keys.
+  static constexpr bool Less(const E& a, const E& b) {
+    return OrderedLess(a, b);
+  }
   static constexpr E LowestSentinel() { return KeyTraits<E>::Lowest(); }
   /// Order-reversing involution (top-k of negated = bottom-k of original):
   /// -x for floats, ~x for two's-complement and unsigned ints.
@@ -65,7 +69,9 @@ template <>
 struct ElementTraits<KV> {
   using Key = float;
   static constexpr Key PrimaryKey(const KV& e) { return e.key; }
-  static constexpr bool Less(const KV& a, const KV& b) { return a.key < b.key; }
+  static constexpr bool Less(const KV& a, const KV& b) {
+    return OrderedLess(a.key, b.key);
+  }
   static constexpr KV Negated(KV e) {
     e.key = -e.key;
     return e;
@@ -80,7 +86,10 @@ struct ElementTraits<KKV> {
   using Key = float;
   static constexpr Key PrimaryKey(const KKV& e) { return e.key; }
   static constexpr bool Less(const KKV& a, const KKV& b) {
-    return std::tie(a.key, a.key2) < std::tie(b.key, b.key2);
+    return std::make_tuple(KeyTraits<float>::ToOrderedBits(a.key),
+                           KeyTraits<float>::ToOrderedBits(a.key2)) <
+           std::make_tuple(KeyTraits<float>::ToOrderedBits(b.key),
+                           KeyTraits<float>::ToOrderedBits(b.key2));
   }
   static constexpr KKV Negated(KKV e) {
     e.key = -e.key; e.key2 = -e.key2;
@@ -96,7 +105,12 @@ struct ElementTraits<KKKV> {
   using Key = float;
   static constexpr Key PrimaryKey(const KKKV& e) { return e.key; }
   static constexpr bool Less(const KKKV& a, const KKKV& b) {
-    return std::tie(a.key, a.key2, a.key3) < std::tie(b.key, b.key2, b.key3);
+    return std::make_tuple(KeyTraits<float>::ToOrderedBits(a.key),
+                           KeyTraits<float>::ToOrderedBits(a.key2),
+                           KeyTraits<float>::ToOrderedBits(a.key3)) <
+           std::make_tuple(KeyTraits<float>::ToOrderedBits(b.key),
+                           KeyTraits<float>::ToOrderedBits(b.key2),
+                           KeyTraits<float>::ToOrderedBits(b.key3));
   }
   static constexpr KKKV Negated(KKKV e) {
     e.key = -e.key; e.key2 = -e.key2; e.key3 = -e.key3;

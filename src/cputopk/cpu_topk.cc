@@ -228,6 +228,14 @@ std::vector<E> BitonicPartition(const E* data, size_t n, size_t k) {
   return cur;
 }
 
+template <typename E>
+bool AnyNanKey(const E* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (IsNanKey(ElementTraits<E>::PrimaryKey(data[i]))) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 template <typename E>
@@ -242,6 +250,43 @@ StatusOr<CpuTopKResult<E>> CpuTopK(const E* data, size_t n, size_t k,
     if (!IsPowerOfTwo(k) || k > 256) {
       return Status::InvalidArgument(
           "CPU bitonic top-k requires power-of-two k <= 256");
+    }
+    // The float SIMD step kernels (SSE/AVX2 min/max) drop NaN operands
+    // instead of propagating them, so NaN-keyed elements are peeled off
+    // here and re-inserted as the greatest keys, preserving the canonical
+    // NaN order of key_transform.h.
+    if constexpr (std::is_floating_point_v<typename ElementTraits<E>::Key>) {
+      if (AnyNanKey(data, n)) {
+        Timer timer;
+        std::vector<E> nans, rest;
+        rest.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          if (IsNanKey(ElementTraits<E>::PrimaryKey(data[i]))) {
+            nans.push_back(data[i]);
+          } else {
+            rest.push_back(data[i]);
+          }
+        }
+        CpuTopKResult<E> result;
+        result.items.assign(nans.begin(),
+                            nans.begin() + std::min(k, nans.size()));
+        const size_t rem = k - result.items.size();
+        if (rem > 0) {
+          if (k <= rest.size()) {
+            MPTOPK_ASSIGN_OR_RETURN(
+                auto sub, CpuTopK(rest.data(), rest.size(), k, algo, threads));
+            result.items.insert(result.items.end(), sub.items.begin(),
+                                sub.items.begin() + rem);
+            result.threads_used = sub.threads_used;
+          } else {
+            std::sort(rest.begin(), rest.end(), DescendingByTraits<E>{});
+            result.items.insert(result.items.end(), rest.begin(),
+                                rest.begin() + rem);
+          }
+        }
+        result.wall_ms = timer.ElapsedMs();
+        return result;
+      }
     }
   }
   int nthreads = threads > 0

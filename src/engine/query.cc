@@ -449,12 +449,28 @@ Status LaunchCompactGroups(simt::Device& dev, GlobalSpan<uint32_t> keys,
   return st.ok() ? Status::OK() : st.status();
 }
 
+// Runs the top-k step through the resilient executor and captures its
+// one-line report for the query result.
+StatusOr<TopKResult<KV>> ResilientStep(simt::Device& dev,
+                                       DeviceBuffer<KV>& data, size_t n,
+                                       size_t k, const ExecOptions& exec,
+                                       std::string* summary) {
+  MPTOPK_ASSIGN_OR_RETURN(
+      auto r, planner::ResilientTopKDevice<KV>(dev, data, n, k,
+                                               exec.resilience));
+  *summary = r.report.Summary();
+  TopKResult<KV> top;
+  top.items = std::move(r.items);
+  return top;
+}
+
 }  // namespace
 
 StatusOr<QueryResult> FilterTopKQuery(Table& table, const Filter& filter,
                                       const Ranking& ranking,
                                       const std::string& id_column, size_t k,
-                                      TopKStrategy strategy) {
+                                      TopKStrategy strategy,
+                                      const ExecOptions& exec) {
   if (k == 0) return Status::InvalidArgument("k must be positive");
   simt::Device& dev = *table.device();
   const size_t n = table.num_rows();
@@ -474,6 +490,7 @@ StatusOr<QueryResult> FilterTopKQuery(Table& table, const Filter& filter,
 
   TopKResult<KV> top;
   size_t matched = 0;
+  std::string resilience_summary;
 
   if (strategy == TopKStrategy::kCombinedBitonic) {
     const size_t k2 = NextPowerOfTwo(k);
@@ -492,7 +509,7 @@ StatusOr<QueryResult> FilterTopKQuery(Table& table, const Filter& filter,
     MPTOPK_RETURN_NOT_OK(
         LaunchFusedFilterTopK(dev, q, n, k2, g, cand_span, cnts));
     uint32_t counter_vals[2];
-    dev.CopyToHost(counter_vals, counters, 2);
+    MPTOPK_RETURN_NOT_OK(dev.CopyToHost(counter_vals, counters, 2));
     matched = counter_vals[1];
     size_t emitted = counter_vals[0];
     if (matched == 0) {
@@ -502,14 +519,25 @@ StatusOr<QueryResult> FilterTopKQuery(Table& table, const Filter& filter,
       empty.kernels_launched = tracker.Launches();
       return empty;
     }
-    MPTOPK_ASSIGN_OR_RETURN(top,
-                            gpu::BitonicReduceRuns(dev, cand, emitted, k2));
+    auto reduced = gpu::BitonicReduceRuns(dev, cand, emitted, k2);
+    if (reduced.ok()) {
+      top = std::move(reduced).value();
+    } else if (exec.resilient) {
+      // Recovery path: the candidate runs are a superset of the global
+      // top-k, so a resilient top-k over them yields the same answer.
+      const size_t k_r = std::min(std::min(k, matched), emitted);
+      MPTOPK_ASSIGN_OR_RETURN(
+          top, ResilientStep(dev, cand, emitted, k_r, exec,
+                             &resilience_summary));
+    } else {
+      return reduced.status();
+    }
   } else {
     MPTOPK_ASSIGN_OR_RETURN(auto kv_buf, dev.Alloc<KV>(std::max<size_t>(n, 1)));
     GlobalSpan<KV> kv_span(kv_buf);
     MPTOPK_RETURN_NOT_OK(LaunchFilterProject(dev, q, n, kv_span, cnts));
     uint32_t counter_vals[2];
-    dev.CopyToHost(counter_vals, counters, 2);
+    MPTOPK_RETURN_NOT_OK(dev.CopyToHost(counter_vals, counters, 2));
     matched = counter_vals[0];
     if (matched == 0) {
       QueryResult empty;
@@ -519,7 +547,10 @@ StatusOr<QueryResult> FilterTopKQuery(Table& table, const Filter& filter,
       return empty;
     }
     const size_t k_eff = std::min(k, matched);
-    if (strategy == TopKStrategy::kFilterSort) {
+    if (exec.resilient) {
+      MPTOPK_ASSIGN_OR_RETURN(top, ResilientStep(dev, kv_buf, matched, k_eff,
+                                                 exec, &resilience_summary));
+    } else if (strategy == TopKStrategy::kFilterSort) {
       MPTOPK_ASSIGN_OR_RETURN(top,
                               gpu::SortTopKDevice(dev, kv_buf, matched,
                                                   k_eff));
@@ -546,7 +577,7 @@ StatusOr<QueryResult> FilterTopKQuery(Table& table, const Filter& filter,
     }
     MPTOPK_ASSIGN_OR_RETURN(auto rows_buf,
                             dev.Alloc<uint32_t>(rows.size()));
-    dev.CopyToDevice(rows_buf, rows.data(), rows.size());
+    MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(rows_buf, rows.data(), rows.size()));
     MPTOPK_ASSIGN_OR_RETURN(auto ids_buf, dev.Alloc<int64_t>(rows.size()));
     GlobalSpan<int64_t> ids_span(ids_buf);
     GlobalSpan<uint32_t> rows_span(rows_buf);
@@ -554,18 +585,19 @@ StatusOr<QueryResult> FilterTopKQuery(Table& table, const Filter& filter,
     MPTOPK_RETURN_NOT_OK(
         LaunchGatherIds(dev, id_col, rows_span, rows.size(), ids_span));
     result.ids.resize(rows.size());
-    dev.CopyToHost(result.ids.data(), ids_buf, rows.size());
+    MPTOPK_RETURN_NOT_OK(dev.CopyToHost(result.ids.data(), ids_buf, rows.size()));
   }
   result.kernel_ms = tracker.ElapsedMs();
   result.end_to_end_ms = result.kernel_ms + (dev.pcie_ms() - pcie_start);
   result.kernels_launched = tracker.Launches();
+  result.resilience_summary = std::move(resilience_summary);
   return result;
 }
 
 StatusOr<GroupByResult> GroupByCountTopKQuery(Table& table,
                                               const std::string& group_column,
-                                              size_t k,
-                                              GroupByStrategy strategy) {
+                                              size_t k, GroupByStrategy strategy,
+                                              const ExecOptions& exec) {
   if (k == 0) return Status::InvalidArgument("k must be positive");
   simt::Device& dev = *table.device();
   const size_t n = table.num_rows();
@@ -594,7 +626,7 @@ StatusOr<GroupByResult> GroupByCountTopKQuery(Table& table,
   GlobalSpan<uint32_t> ct(counter);
   MPTOPK_RETURN_NOT_OK(LaunchCompactGroups(dev, kspan, cspan, slots, gr, ct));
   uint32_t num_groups = 0;
-  dev.CopyToHost(&num_groups, counter, 1);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToHost(&num_groups, counter, 1));
   const double groupby_ms = tracker.ElapsedMs();
 
   GroupByResult result;
@@ -607,7 +639,11 @@ StatusOr<GroupByResult> GroupByCountTopKQuery(Table& table,
   }
   const size_t k_eff = std::min<size_t>(k, num_groups);
   TopKResult<KV> top;
-  if (strategy == GroupByStrategy::kSort) {
+  if (exec.resilient) {
+    MPTOPK_ASSIGN_OR_RETURN(top,
+                            ResilientStep(dev, groups, num_groups, k_eff, exec,
+                                          &result.resilience_summary));
+  } else if (strategy == GroupByStrategy::kSort) {
     MPTOPK_ASSIGN_OR_RETURN(top,
                             gpu::SortTopKDevice(dev, groups, num_groups,
                                                 k_eff));

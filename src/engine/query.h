@@ -24,6 +24,7 @@
 
 #include "common/status.h"
 #include "engine/table.h"
+#include "planner/resilient.h"
 
 namespace mptopk::engine {
 
@@ -84,6 +85,17 @@ inline const char* StrategyName(TopKStrategy s) {
   return "Unknown";
 }
 
+/// How the engine executes the top-k step of a query.
+struct ExecOptions {
+  /// Route the top-k step through planner::ResilientTopKDevice: the planner
+  /// picks the algorithm and faults are retried / fallen back transparently
+  /// (the query's `strategy` still controls filtering/materialization; under
+  /// the combined strategy the resilient executor serves as the recovery
+  /// path when the fused reduction fails).
+  bool resilient = false;
+  planner::ResilienceOptions resilience;
+};
+
 struct QueryResult {
   /// Values of the id column for the top rows, descending by rank.
   std::vector<int64_t> ids;
@@ -94,6 +106,9 @@ struct QueryResult {
   /// kernel_ms plus PCIe staging of the (small) result.
   double end_to_end_ms = 0.0;
   int kernels_launched = 0;
+  /// ExecutionReport::Summary() of the resilient top-k step (empty when
+  /// ExecOptions::resilient is off or the step did not run).
+  std::string resilience_summary;
 };
 
 /// Runs the filter + order-by-limit query. `id_column` must be kInt64;
@@ -101,7 +116,8 @@ struct QueryResult {
 StatusOr<QueryResult> FilterTopKQuery(Table& table, const Filter& filter,
                                       const Ranking& ranking,
                                       const std::string& id_column, size_t k,
-                                      TopKStrategy strategy);
+                                      TopKStrategy strategy,
+                                      const ExecOptions& exec = {});
 
 enum class GroupByStrategy { kSort, kBitonic };
 
@@ -113,14 +129,16 @@ struct GroupByResult {
   double groupby_ms = 0.0;  // hash build + group compaction
   double topk_ms = 0.0;     // the ORDER BY COUNT(*) LIMIT k step
   int kernels_launched = 0;
+  /// See QueryResult::resilience_summary.
+  std::string resilience_summary;
 };
 
 /// GROUP BY count + top-k by count (paper query 4). `group_column` must be
 /// kInt32 with non-negative values.
 StatusOr<GroupByResult> GroupByCountTopKQuery(Table& table,
                                               const std::string& group_column,
-                                              size_t k,
-                                              GroupByStrategy strategy);
+                                              size_t k, GroupByStrategy strategy,
+                                              const ExecOptions& exec = {});
 
 }  // namespace mptopk::engine
 

@@ -24,7 +24,7 @@ Status Table::AddColumnI32(const std::string& name,
   auto col = std::make_unique<Column>();
   col->type = ColumnType::kInt32;
   MPTOPK_ASSIGN_OR_RETURN(col->i32, device_->Alloc<int32_t>(v.size()));
-  device_->CopyToDevice(col->i32, v.data(), v.size());
+  MPTOPK_RETURN_NOT_OK(device_->CopyToDevice(col->i32, v.data(), v.size()));
   columns_[name] = std::move(col);
   return Status::OK();
 }
@@ -38,7 +38,7 @@ Status Table::AddColumnI64(const std::string& name,
   auto col = std::make_unique<Column>();
   col->type = ColumnType::kInt64;
   MPTOPK_ASSIGN_OR_RETURN(col->i64, device_->Alloc<int64_t>(v.size()));
-  device_->CopyToDevice(col->i64, v.data(), v.size());
+  MPTOPK_RETURN_NOT_OK(device_->CopyToDevice(col->i64, v.data(), v.size()));
   columns_[name] = std::move(col);
   return Status::OK();
 }
@@ -52,7 +52,7 @@ Status Table::AddColumnF32(const std::string& name,
   auto col = std::make_unique<Column>();
   col->type = ColumnType::kFloat32;
   MPTOPK_ASSIGN_OR_RETURN(col->f32, device_->Alloc<float>(v.size()));
-  device_->CopyToDevice(col->f32, v.data(), v.size());
+  MPTOPK_RETURN_NOT_OK(device_->CopyToDevice(col->f32, v.data(), v.size()));
   columns_[name] = std::move(col);
   return Status::OK();
 }

@@ -250,7 +250,7 @@ StatusOr<TopKResult<E>> BitonicTopKDevice(simt::Device& dev,
 
   TopKResult<E> result;
   result.items.resize(k);
-  dev.CopyToHost(result.items.data(), out_k, k);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToHost(result.items.data(), out_k, k));
   result.kernel_ms = tracker.ElapsedMs();
   result.kernels_launched = tracker.Launches();
   return result;
@@ -297,7 +297,7 @@ StatusOr<TopKResult<E>> BitonicReduceRuns(simt::Device& dev,
       LaunchFinalReduce(dev, a, cur, out, k, /*unsorted=*/false, g));
   TopKResult<E> result;
   result.items.resize(k);
-  dev.CopyToHost(result.items.data(), out_k, k);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToHost(result.items.data(), out_k, k));
   result.kernel_ms = tracker.ElapsedMs();
   result.kernels_launched = tracker.Launches();
   return result;
@@ -307,7 +307,7 @@ template <typename E>
 StatusOr<TopKResult<E>> BitonicTopK(simt::Device& dev, const E* data, size_t n,
                                     size_t k, const BitonicOptions& opts) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
-  dev.CopyToDevice(buf, data, n);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(buf, data, n));
   return BitonicTopKDevice(dev, buf, n, k, opts);
 }
 

@@ -232,7 +232,7 @@ StatusOr<TopKResult<E>> BucketSelectTopKDevice(simt::Device& dev,
   GlobalSpan<uint64_t> minmax(minmax_buf);
   MPTOPK_RETURN_NOT_OK(LaunchMinMax(dev, input, n, minmax));
   uint64_t mm[2];
-  dev.CopyToHost(mm, minmax_buf, 2);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToHost(mm, minmax_buf, 2));
   U lo = static_cast<U>(mm[0]);
   U hi = static_cast<U>(mm[1]);
 
@@ -240,7 +240,7 @@ StatusOr<TopKResult<E>> BucketSelectTopKDevice(simt::Device& dev,
     (void)launches_unused;
     TopKResult<E> out;
     out.items.resize(k);
-    dev.CopyToHost(out.items.data(), result_buf, k);
+    MPTOPK_RETURN_NOT_OK(dev.CopyToHost(out.items.data(), result_buf, k));
     SortDescending(&out.items);
     out.kernel_ms = tracker.ElapsedMs();
     out.kernels_launched = tracker.Launches();
@@ -282,7 +282,7 @@ StatusOr<TopKResult<E>> BucketSelectTopKDevice(simt::Device& dev,
         LaunchBucketHistogram(dev, candidates, cand_count, lo, width,
                               histspan));
     uint32_t h[kBuckets];
-    dev.CopyToHost(h, hist_buf, kBuckets);
+    MPTOPK_RETURN_NOT_OK(dev.CopyToHost(h, hist_buf, kBuckets));
 
     size_t cum = 0;
     int pivot = kBuckets - 1;
@@ -323,7 +323,7 @@ template <typename E>
 StatusOr<TopKResult<E>> BucketSelectTopK(simt::Device& dev, const E* data,
                                          size_t n, size_t k) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
-  dev.CopyToDevice(buf, data, n);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(buf, data, n));
   return BucketSelectTopKDevice(dev, buf, n, k);
 }
 

@@ -34,7 +34,7 @@ StatusOr<ChunkedTopKResult<E>> ChunkedTopK(simt::Device& dev, const E* data,
     const size_t base = c * chunk_elems;
     const size_t len = std::min(chunk_elems, n - base);
     const size_t k_chunk = std::min(k, len);
-    dev.CopyToDevice(chunk_buf, data + base, len);
+    MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(chunk_buf, data + base, len));
     MPTOPK_ASSIGN_OR_RETURN(auto top,
                             TopKDevice(dev, chunk_buf, len, k_chunk, algo));
     // Stage the chunk's winners back into the candidate pool (tiny).

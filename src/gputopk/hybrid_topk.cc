@@ -201,7 +201,7 @@ StatusOr<TopKResult<E>> HybridTopKDevice(simt::Device& dev,
   MPTOPK_RETURN_NOT_OK(
       LaunchThresholdFilter(dev, in, n, pivot, cand_span, cap, cnt));
   uint32_t c = 0;
-  dev.CopyToHost(&c, counter, 1);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToHost(&c, counter, 1));
 
   if (c < k || c >= cap) {
     // Unlucky sample (too few candidates) or non-discriminating pivot
@@ -219,7 +219,7 @@ template <typename E>
 StatusOr<TopKResult<E>> HybridTopK(simt::Device& dev, const E* data, size_t n,
                                    size_t k, const HybridOptions& opts) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
-  dev.CopyToDevice(buf, data, n);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(buf, data, n));
   return HybridTopKDevice(dev, buf, n, k, opts);
 }
 

@@ -322,7 +322,7 @@ StatusOr<TopKResult<E>> PerThreadTopKDevice(simt::Device& dev,
 
   TopKResult<E> result;
   result.items.resize(k);
-  dev.CopyToHost(result.items.data(), out_k, k);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToHost(result.items.data(), out_k, k));
   result.kernel_ms = tracker.ElapsedMs();
   result.kernels_launched = tracker.Launches();
   return result;
@@ -333,7 +333,7 @@ StatusOr<TopKResult<E>> PerThreadTopK(simt::Device& dev, const E* data,
                                       size_t n, size_t k,
                                       const PerThreadOptions& opts) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
-  dev.CopyToDevice(buf, data, n);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(buf, data, n));
   return PerThreadTopKDevice(dev, buf, n, k, opts);
 }
 

@@ -174,7 +174,7 @@ StatusOr<TopKResult<E>> RadixSelectTopKDevice(simt::Device& dev,
     MPTOPK_RETURN_NOT_OK(
         LaunchMsdHistogram(dev, candidates, cand_count, hist, pass));
     uint32_t h[kRadix];
-    dev.CopyToHost(h, hist_buf, kRadix);
+    MPTOPK_RETURN_NOT_OK(dev.CopyToHost(h, hist_buf, kRadix));
 
     // Pivot: first bucket from the top whose cumulative count reaches k_rem.
     size_t cum = 0;
@@ -220,7 +220,7 @@ StatusOr<TopKResult<E>> RadixSelectTopKDevice(simt::Device& dev,
 
   TopKResult<E> result_out;
   result_out.items.resize(k);
-  dev.CopyToHost(result_out.items.data(), result_buf, k);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToHost(result_out.items.data(), result_buf, k));
   // Selection produces an unordered top-k set; canonicalize to descending on
   // the host (k is tiny). The paper's variant likewise leaves ordering to
   // the consumer.
@@ -234,7 +234,7 @@ template <typename E>
 StatusOr<TopKResult<E>> RadixSelectTopK(simt::Device& dev, const E* data,
                                         size_t n, size_t k) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
-  dev.CopyToDevice(buf, data, n);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(buf, data, n));
   return RadixSelectTopKDevice(dev, buf, n, k);
 }
 

@@ -289,7 +289,7 @@ StatusOr<TopKResult<E>> SortTopKDevice(simt::Device& dev,
 
   TopKResult<E> result;
   result.items.resize(k);
-  dev.CopyToHost(result.items.data(), out_k, k);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToHost(result.items.data(), out_k, k));
   result.kernel_ms = tracker.ElapsedMs();
   result.kernels_launched = tracker.Launches();
   return result;
@@ -299,7 +299,7 @@ template <typename E>
 StatusOr<TopKResult<E>> SortTopK(simt::Device& dev, const E* data, size_t n,
                                  size_t k) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
-  dev.CopyToDevice(buf, data, n);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(buf, data, n));
   return SortTopKDevice(dev, buf, n, k);
 }
 

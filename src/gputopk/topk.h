@@ -69,6 +69,11 @@ template <typename E>
 StatusOr<TopKResult<E>> TopKDevice(simt::Device& dev,
                                    simt::DeviceBuffer<E>& data, size_t n,
                                    size_t k, Algorithm algo) {
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("require 1 <= k <= n (k=" +
+                                   std::to_string(k) + ", n=" +
+                                   std::to_string(n) + ")");
+  }
   switch (algo) {
     case Algorithm::kSort:
       return SortTopKDevice(dev, data, n, k);
@@ -145,7 +150,7 @@ StatusOr<TopKResult<E>> TopK(simt::Device& dev, const E* data, size_t n,
                              size_t k, Algorithm algo = Algorithm::kBitonic,
                              SortOrder order = SortOrder::kLargest) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
-  dev.CopyToDevice(buf, data, n);
+  MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(buf, data, n));
   return TopKDevice(dev, buf, n, k, algo, order);
 }
 

@@ -1,0 +1,414 @@
+// Resilient top-k execution (see resilient.h for the contract).
+#include "planner/resilient.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mptopk::planner {
+
+std::string ExecutionReport::Summary() const {
+  std::ostringstream os;
+  os << (final_algorithm.empty() ? "<failed>" : final_algorithm) << " after "
+     << attempts.size() << (attempts.size() == 1 ? " attempt" : " attempts")
+     << " (" << retries << (retries == 1 ? " retry" : " retries") << ", "
+     << fallbacks << (fallbacks == 1 ? " fallback" : " fallbacks");
+  if (corruption_reruns > 0) {
+    os << ", " << corruption_reruns << " corruption rerun"
+       << (corruption_reruns == 1 ? "" : "s");
+  }
+  if (degraded_to_chunked) os << ", degraded to chunked";
+  if (used_cpu) os << ", ran on CPU";
+  os << ", " << backoff_ms << " ms backoff)";
+  return os.str();
+}
+
+namespace {
+
+uint64_t NextRand(uint64_t* s) {
+  uint64_t x = *s;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *s = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+/// Simulated device clock: kernel time + charged backoff + PCIe staging.
+double DeviceClockMs(const simt::Device& dev) {
+  return dev.total_sim_ms() + dev.pcie_ms();
+}
+
+/// Primary-key equality through ordered bits (NaN-safe for float keys: all
+/// NaNs canonicalize to the same greatest key).
+template <typename E>
+bool SameKey(const E& a, const E& b) {
+  using K = typename ElementTraits<E>::Key;
+  return KeyTraits<K>::ToOrderedBits(ElementTraits<E>::PrimaryKey(a)) ==
+         KeyTraits<K>::ToOrderedBits(ElementTraits<E>::PrimaryKey(b));
+}
+
+// The cheap result invariant check: exactly k items, descending, boundary
+// counts against the input (at most k-1 input elements may outrank the k-th
+// result element, at least k must reach it), plus deterministic membership
+// spot-checks. One O(n) pass over the input — far cheaper than re-running
+// any of the algorithms, yet it catches truncation, ordering violations and
+// single-bit key corruption.
+template <typename E>
+Status VerifyTopK(const E* input, size_t n, const std::vector<E>& items,
+                  size_t k, const ResilienceOptions& opts) {
+  if (items.size() != k) {
+    return Status::Internal(
+        "verification: result has " + std::to_string(items.size()) +
+        " items, expected " + std::to_string(k));
+  }
+  for (size_t i = 1; i < items.size(); ++i) {
+    if (ElementTraits<E>::Less(items[i - 1], items[i])) {
+      return Status::Internal("verification: result not descending at index " +
+                              std::to_string(i));
+    }
+  }
+  if (k == 0) return Status::OK();
+
+  const size_t samples = std::min<size_t>(
+      static_cast<size_t>(std::max(opts.verify_samples, 0)), k);
+  std::vector<size_t> sample_idx(samples);
+  uint64_t rng =
+      opts.verify_seed * 0x9E3779B97F4A7C15ull + 0x2545F4914F6CDD1Dull;
+  for (size_t j = 0; j < samples; ++j) {
+    sample_idx[j] = static_cast<size_t>(NextRand(&rng) % k);
+  }
+  std::vector<char> found(samples, 0);
+
+  const E& kth = items.back();
+  size_t outrank = 0;  // input elements strictly greater than the k-th result
+  size_t reach = 0;    // input elements >= the k-th result
+  for (size_t i = 0; i < n; ++i) {
+    const E& e = input[i];
+    if (ElementTraits<E>::Less(kth, e)) ++outrank;
+    if (!ElementTraits<E>::Less(e, kth)) ++reach;
+    for (size_t j = 0; j < samples; ++j) {
+      if (!found[j] && SameKey(e, items[sample_idx[j]])) found[j] = 1;
+    }
+  }
+  if (outrank > k - 1) {
+    return Status::Internal(
+        "verification: " + std::to_string(outrank) +
+        " input elements outrank the k-th result element (max " +
+        std::to_string(k - 1) + ")");
+  }
+  if (reach < k) {
+    return Status::Internal(
+        "verification: only " + std::to_string(reach) +
+        " input elements reach the k-th result element (need " +
+        std::to_string(k) + ")");
+  }
+  for (size_t j = 0; j < samples; ++j) {
+    if (!found[j]) {
+      return Status::Internal("verification: result element " +
+                              std::to_string(sample_idx[j]) +
+                              " has no matching key in the input");
+    }
+  }
+  return Status::OK();
+}
+
+/// Charges exponential backoff before retry number `retries` (0-based) to
+/// the device clock and the report, and records it on the attempt.
+void ChargeBackoff(simt::Device& dev, const ResilienceOptions& opts,
+                   int retries, AttemptRecord* rec, ExecutionReport* rep) {
+  const double backoff =
+      opts.backoff_base_ms * static_cast<double>(uint64_t{1} << retries);
+  dev.AddSimulatedDelayMs(backoff);
+  rec->backoff_ms = backoff;
+  rep->backoff_ms += backoff;
+  ++rep->retries;
+}
+
+/// Runs one stage with bounded retry of retryable faults (exponential
+/// simulated backoff) and one re-execution on a failed invariant check.
+/// Failed attempts charge their device time (plus backoff) to the report's
+/// added_latency_ms; on success stores the verified items.
+template <typename E, typename F>
+Status RunStage(simt::Device& dev, const ResilienceOptions& opts,
+                const std::string& stage, const E* verify_input, size_t n,
+                size_t k, F&& fn, ExecutionReport* rep,
+                std::vector<E>* items) {
+  int retries = 0;
+  int reruns = 0;
+  Status last;
+  while (true) {
+    const double t0 = DeviceClockMs(dev);
+    StatusOr<std::vector<E>> r = fn();
+    AttemptRecord rec;
+    rec.stage = stage;
+    if (r.ok()) {
+      Status v = (opts.verify && verify_input != nullptr)
+                     ? VerifyTopK(verify_input, n, r.value(), k, opts)
+                     : Status::OK();
+      if (v.ok()) {
+        rep->attempts.push_back(std::move(rec));
+        *items = std::move(r).value();
+        return Status::OK();
+      }
+      rec.code = v.code();
+      rec.detail = v.message();
+      rep->attempts.push_back(std::move(rec));
+      ++rep->faults_seen;
+      rep->added_latency_ms += DeviceClockMs(dev) - t0;
+      last = v;
+      if (reruns == 0) {  // one re-execution on corruption
+        ++reruns;
+        ++rep->corruption_reruns;
+        continue;
+      }
+      return last.WithContext(stage + " (corrupt after re-execution)");
+    }
+    last = r.status();
+    rec.code = last.code();
+    rec.detail = last.message();
+    ++rep->faults_seen;
+    if (last.IsRetryable() && retries < opts.max_retries) {
+      ChargeBackoff(dev, opts, retries, &rec, rep);
+      ++retries;
+      rep->attempts.push_back(std::move(rec));
+      rep->added_latency_ms += DeviceClockMs(dev) - t0;
+      continue;
+    }
+    rep->attempts.push_back(std::move(rec));
+    rep->added_latency_ms += DeviceClockMs(dev) - t0;
+    return last.WithContext(stage);
+  }
+}
+
+/// Retries a plain transfer (no result to verify) under the same bounded
+/// backoff policy. `stage` labels the attempt records.
+template <typename F>
+Status RunTransfer(simt::Device& dev, const ResilienceOptions& opts,
+                   const std::string& stage, F&& fn, ExecutionReport* rep) {
+  int retries = 0;
+  while (true) {
+    const double t0 = DeviceClockMs(dev);
+    Status st = fn();
+    AttemptRecord rec;
+    rec.stage = stage;
+    rec.code = st.code();
+    if (st.ok()) {
+      rep->attempts.push_back(std::move(rec));
+      return st;
+    }
+    rec.detail = st.message();
+    ++rep->faults_seen;
+    if (st.IsRetryable() && retries < opts.max_retries) {
+      ChargeBackoff(dev, opts, retries, &rec, rep);
+      ++retries;
+      rep->attempts.push_back(std::move(rec));
+      rep->added_latency_ms += DeviceClockMs(dev) - t0;
+      continue;
+    }
+    rep->attempts.push_back(std::move(rec));
+    rep->added_latency_ms += DeviceClockMs(dev) - t0;
+    return st.WithContext(stage);
+  }
+}
+
+/// Walks the planner-ranked GPU algorithms over device-resident data,
+/// retrying within a stage and falling back across stages. No chunked/CPU
+/// degrade here — callers layer those on.
+template <typename E>
+Status RunGpuStages(simt::Device& dev, simt::DeviceBuffer<E>& data, size_t n,
+                    size_t k, const ResilienceOptions& opts,
+                    ExecutionReport* rep, std::vector<E>* items) {
+  cost::Workload w;
+  w.n = n;
+  w.k = k;
+  w.elem_size = sizeof(E);
+  w.key_size =
+      sizeof(typename KeyTraits<typename ElementTraits<E>::Key>::Unsigned);
+  w.dist = opts.hint;
+  auto plan = PlanTopK(dev.spec(), w, opts.include_extensions);
+  if (!plan.ok()) {
+    rep->attempts.push_back(
+        {"planner", plan.status().code(), plan.status().message(), 0.0});
+    ++rep->faults_seen;
+    return plan.status().WithContext("planner");
+  }
+  Status last = Status::Internal("planner returned no feasible algorithm");
+  bool first = true;
+  for (const AlgorithmEstimate& est : plan.value().ranked) {
+    if (!first) ++rep->fallbacks;  // reached only after the previous failed
+    first = false;
+    const char* name = gpu::AlgorithmName(est.algorithm);
+    Status st = RunStage<E>(
+        dev, opts, name, data.host_data(), n, k,
+        [&]() -> StatusOr<std::vector<E>> {
+          auto r = gpu::TopKDevice(dev, data, n, k, est.algorithm);
+          if (!r.ok()) return r.status();
+          return std::move(r.value().items);
+        },
+        rep, items);
+    if (st.ok()) {
+      rep->final_algorithm = name;
+      return Status::OK();
+    }
+    last = st;
+  }
+  return last;
+}
+
+/// The final CPU stage over host-resident input.
+template <typename E>
+Status RunCpuStage(simt::Device& dev, const E* data, size_t n, size_t k,
+                   const ResilienceOptions& opts, ExecutionReport* rep,
+                   std::vector<E>* items) {
+  Status st = RunStage<E>(
+      dev, opts, "cpu:HandPq", data, n, k,
+      [&]() -> StatusOr<std::vector<E>> {
+        auto r = cpu::CpuTopK(data, n, k, cpu::CpuAlgorithm::kHandPq);
+        if (!r.ok()) return r.status();
+        return std::move(r.value().items);
+      },
+      rep, items);
+  if (st.ok()) {
+    rep->used_cpu = true;
+    rep->final_algorithm = "cpu:HandPq";
+  }
+  return st;
+}
+
+}  // namespace
+
+template <typename E>
+StatusOr<ResilientResult<E>> ResilientTopKDevice(
+    simt::Device& dev, simt::DeviceBuffer<E>& data, size_t n, size_t k,
+    const ResilienceOptions& opts) {
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("ResilientTopKDevice: require 1 <= k <= n");
+  }
+  if (n > data.size()) {
+    return Status::InvalidArgument(
+        "ResilientTopKDevice: n exceeds device buffer size");
+  }
+  ResilientResult<E> out;
+  const double t_begin = DeviceClockMs(dev);
+
+  Status st = RunGpuStages(dev, data, n, k, opts, &out.report, &out.items);
+  if (!st.ok() && opts.allow_cpu_fallback) {
+    ++out.report.fallbacks;
+    // Accounted readback of the input (itself subject to transient faults).
+    std::vector<E> host(n);
+    Status rb = RunTransfer(
+        dev, opts, "cpu-readback",
+        [&]() { return dev.CopyToHost(host.data(), data, n); }, &out.report);
+    if (!rb.ok()) {
+      return rb.WithContext("ResilientTopKDevice: input readback failed");
+    }
+    st = RunCpuStage(dev, host.data(), n, k, opts, &out.report, &out.items);
+  }
+  if (!st.ok()) {
+    return st.WithContext("ResilientTopKDevice: all stages failed");
+  }
+  out.report.total_device_ms = DeviceClockMs(dev) - t_begin;
+  return out;
+}
+
+template <typename E>
+StatusOr<ResilientResult<E>> ResilientTopK(simt::Device& dev, const E* data,
+                                           size_t n, size_t k,
+                                           const ResilienceOptions& opts) {
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("ResilientTopK: require 1 <= k <= n");
+  }
+  ResilientResult<E> out;
+  const double t_begin = DeviceClockMs(dev);
+  Status last = Status::OK();
+  bool done = false;
+
+  const size_t bytes = n * sizeof(E);
+  const size_t used = dev.allocated_bytes();
+  const size_t free_bytes =
+      dev.spec().global_mem_bytes > used ? dev.spec().global_mem_bytes - used
+                                         : 0;
+  // The resident path needs the input plus algorithm scratch; require modest
+  // headroom before attempting it, else degrade to streaming immediately.
+  if (bytes + bytes / 8 <= free_bytes) {
+    // Stage the input. An allocation failure (device full / injected)
+    // degrades to chunked; transient copy faults retry like any stage.
+    auto buf = dev.Alloc<E>(n);
+    if (!buf.ok()) {
+      out.report.attempts.push_back({"stage-input", buf.status().code(),
+                                     buf.status().message(), 0.0});
+      ++out.report.faults_seen;
+      last = buf.status();
+    } else {
+      Status cp = RunTransfer(
+          dev, opts, "stage-input",
+          [&]() { return dev.CopyToDevice(buf.value(), data, n); },
+          &out.report);
+      if (cp.ok()) {
+        Status st = RunGpuStages(dev, buf.value(), n, k, opts, &out.report,
+                                 &out.items);
+        if (st.ok()) done = true;
+        else last = st;
+      } else {
+        last = cp;
+      }
+    }
+  } else {
+    out.report.attempts.push_back(
+        {"resident", StatusCode::kResourceExhausted,
+         "input (" + std::to_string(bytes) +
+             " bytes) exceeds free device memory (" +
+             std::to_string(free_bytes) + " bytes)",
+         0.0});
+    last = Status::ResourceExhausted(
+        "ResilientTopK: input does not fit device memory");
+  }
+
+  if (!done && opts.allow_chunked_degrade) {
+    ++out.report.fallbacks;
+    out.report.degraded_to_chunked = true;
+    Status st = RunStage<E>(
+        dev, opts, "ChunkedTopK", data, n, k,
+        [&]() -> StatusOr<std::vector<E>> {
+          auto r = gpu::ChunkedTopK(dev, data, n, k);
+          if (!r.ok()) return r.status();
+          return std::move(r.value().items);
+        },
+        &out.report, &out.items);
+    if (st.ok()) {
+      out.report.final_algorithm = "ChunkedTopK";
+      done = true;
+    } else {
+      last = st;
+    }
+  }
+  if (!done && opts.allow_cpu_fallback) {
+    ++out.report.fallbacks;
+    Status st = RunCpuStage(dev, data, n, k, opts, &out.report, &out.items);
+    if (st.ok()) done = true;
+    else last = st;
+  }
+  if (!done) {
+    if (last.ok()) last = Status::Internal("no execution path permitted");
+    return last.WithContext("ResilientTopK: all stages failed");
+  }
+  out.report.total_device_ms = DeviceClockMs(dev) - t_begin;
+  return out;
+}
+
+#define MPTOPK_INSTANTIATE_RESILIENT(E)                          \
+  template StatusOr<ResilientResult<E>> ResilientTopKDevice<E>(  \
+      simt::Device&, simt::DeviceBuffer<E>&, size_t, size_t,     \
+      const ResilienceOptions&);                                 \
+  template StatusOr<ResilientResult<E>> ResilientTopK<E>(        \
+      simt::Device&, const E*, size_t, size_t, const ResilienceOptions&);
+
+MPTOPK_INSTANTIATE_RESILIENT(float)
+MPTOPK_INSTANTIATE_RESILIENT(double)
+MPTOPK_INSTANTIATE_RESILIENT(uint32_t)
+MPTOPK_INSTANTIATE_RESILIENT(int32_t)
+MPTOPK_INSTANTIATE_RESILIENT(KV)
+
+#undef MPTOPK_INSTANTIATE_RESILIENT
+
+}  // namespace mptopk::planner

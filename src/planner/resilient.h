@@ -1,0 +1,117 @@
+// Resilient top-k execution: planner-ranked algorithm choice with bounded
+// retry, fallback and degradation — the layer that turns the library's
+// errors-are-values contract into answers that survive device faults.
+//
+// ResilientTopK walks the cost-based ranked list from PlanTopK and applies,
+// in order:
+//
+//   retry    — kUnavailable failures (transient transfer faults, aborted
+//              launches) are retried on the same algorithm with bounded
+//              exponential backoff, charged to the device's simulated clock;
+//   fallback — kResourceExhausted (and any other non-retryable failure)
+//              moves on to the next-cheapest feasible algorithm;
+//   degrade  — input that does not fit device memory (or exhausts it across
+//              every algorithm) is streamed through gpu::ChunkedTopK; as the
+//              last resort the computation runs on the CPU (cpu::CpuTopK).
+//
+// Every successful attempt passes a cheap invariant check — exactly k items,
+// descending, boundary counts against the input, membership spot-checks —
+// and is re-executed once if the check fails (corrupted readback). The call
+// returns the items plus an ExecutionReport describing exactly what happened;
+// given the same fault-plan seed the decisions and reported latency are
+// bit-for-bit deterministic. See docs/robustness.md.
+#ifndef MPTOPK_PLANNER_RESILIENT_H_
+#define MPTOPK_PLANNER_RESILIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cputopk/cpu_topk.h"
+#include "gputopk/chunked.h"
+#include "gputopk/topk.h"
+#include "planner/plan_topk.h"
+
+namespace mptopk::planner {
+
+struct ResilienceOptions {
+  /// Retries of a retryable (kUnavailable) failure per stage before falling
+  /// back to the next stage.
+  int max_retries = 3;
+  /// Simulated backoff before retry r is base * 2^r milliseconds, charged to
+  /// the device clock (Device::AddSimulatedDelayMs) and to the report.
+  double backoff_base_ms = 0.25;
+  /// Run the result invariant check after every successful attempt.
+  bool verify = true;
+  /// Membership spot-checks per verification (result items sampled
+  /// deterministically from verify_seed; clamped to k).
+  int verify_samples = 3;
+  uint64_t verify_seed = 1;
+  /// Allow streaming through gpu::ChunkedTopK when the input does not fit
+  /// (host-input ResilientTopK only).
+  bool allow_chunked_degrade = true;
+  /// Allow the final CPU fallback.
+  bool allow_cpu_fallback = true;
+  /// Forwarded to PlanTopK (adds the sampling hybrid to the ranked list).
+  bool include_extensions = false;
+  /// Distribution hint for the cost models.
+  Distribution hint = Distribution::kUniform;
+};
+
+/// One execution attempt of one stage, in order.
+struct AttemptRecord {
+  std::string stage;            ///< "BitonicTopK", "ChunkedTopK", "cpu:HandPq"...
+  StatusCode code = StatusCode::kOk;
+  std::string detail;           ///< failure / corruption description
+  double backoff_ms = 0.0;      ///< simulated backoff charged after this attempt
+};
+
+/// What ResilientTopK did to produce the answer.
+struct ExecutionReport {
+  std::vector<AttemptRecord> attempts;
+  int faults_seen = 0;          ///< attempts that failed or verified corrupt
+  int retries = 0;              ///< same-stage retries of retryable faults
+  int fallbacks = 0;            ///< moves to the next stage in the chain
+  int corruption_reruns = 0;    ///< re-executions after a failed invariant check
+  bool degraded_to_chunked = false;
+  bool used_cpu = false;
+  std::string final_algorithm;  ///< stage that produced the returned result
+  double backoff_ms = 0.0;      ///< total simulated backoff added
+  /// Simulated device milliseconds (kernels + PCIe + backoff) consumed by
+  /// the whole call. CPU-fallback wall time is intentionally excluded so the
+  /// number stays deterministic.
+  double total_device_ms = 0.0;
+  /// Simulated device time consumed by failed attempts plus retry backoff —
+  /// the latency added by faults. Exactly 0.0 on a fault-free run.
+  double added_latency_ms = 0.0;
+
+  /// One-line human-readable account, e.g.
+  /// "BitonicTopK ok after 3 attempts (1 retry, 1 fallback, 0.75 ms backoff)".
+  std::string Summary() const;
+};
+
+template <typename E>
+struct ResilientResult {
+  std::vector<E> items;  ///< the k greatest elements, descending
+  ExecutionReport report;
+};
+
+/// Resilient top-k over device-resident data: planner-ranked GPU algorithms
+/// with retry/fallback, then CPU fallback via an accounted device->host
+/// readback. (No chunked degrade: the data already fits on the device.)
+template <typename E>
+StatusOr<ResilientResult<E>> ResilientTopKDevice(
+    simt::Device& dev, simt::DeviceBuffer<E>& data, size_t n, size_t k,
+    const ResilienceOptions& opts = {});
+
+/// Resilient top-k over host data: stages the input (with retry), walks the
+/// GPU chain, degrades to gpu::ChunkedTopK when the input does not fit (or
+/// exhausts device memory everywhere), and finally runs on the CPU.
+template <typename E>
+StatusOr<ResilientResult<E>> ResilientTopK(simt::Device& dev, const E* data,
+                                           size_t n, size_t k,
+                                           const ResilienceOptions& opts = {});
+
+}  // namespace mptopk::planner
+
+#endif  // MPTOPK_PLANNER_RESILIENT_H_

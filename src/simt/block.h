@@ -44,8 +44,15 @@ class Block {
     size_t offset = (shared_used_ + 15) & ~size_t{15};
     size_t bytes = n * sizeof(T);
     shared_used_ = offset + bytes;
-    assert(shared_used_ <= shared_arena_.size() &&
-           "shared memory over-allocation must be pre-checked by the caller");
+    if (shared_used_ > shared_arena_.size()) {
+      // Over-allocation: the launcher reports kResourceExhausted as soon as
+      // this block body returns. Serve the span from a stable overflow
+      // buffer so the rest of the body stays memory-safe until then.
+      overflow_.emplace_back(bytes + 16);
+      auto raw = reinterpret_cast<uintptr_t>(overflow_.back().data());
+      auto aligned = (raw + 15) & ~uintptr_t{15};
+      return SharedSpan<T>(reinterpret_cast<T*>(aligned), offset, n);
+    }
     return SharedSpan<T>(reinterpret_cast<T*>(shared_arena_.data() + offset),
                          offset, n);
   }
@@ -110,6 +117,7 @@ class Block {
     tracer_ = tracer;
     shared_used_ = 0;
     scratch_idx_ = 0;
+    overflow_.clear();
     for (int t = 0; t < block_dim_; ++t) {
       threads_[t].tid = t;
       threads_[t].lane = t % spec_.warp_size;
@@ -145,6 +153,10 @@ class Block {
   BlockTracer* tracer_ = nullptr;
 
   std::vector<std::byte> shared_arena_;
+  /// Backing for spans handed out past the shared-memory limit (the launch
+  /// fails, but the block body that over-allocated still runs to the next
+  /// check). Inner buffers never move once allocated.
+  std::vector<std::vector<std::byte>> overflow_;
   size_t shared_used_ = 0;
   std::vector<std::vector<std::byte>> scratch_chunks_;
   size_t scratch_idx_ = 0;

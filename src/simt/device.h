@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "simt/block.h"
 #include "simt/device_spec.h"
+#include "simt/fault_injection.h"
 #include "simt/memory.h"
 #include "simt/metrics.h"
 #include "simt/timing_model.h"
@@ -59,6 +60,10 @@ class Device {
   template <typename T>
   StatusOr<DeviceBuffer<T>> Alloc(size_t n) {
     size_t bytes = n * sizeof(T);
+    if (fault_plan_ != nullptr) {
+      Status st = fault_plan_->OnAlloc(bytes);
+      if (!st.ok()) return st;
+    }
     if (allocated_bytes_ + bytes > spec_.global_mem_bytes) {
       return Status::ResourceExhausted(
           "device memory exhausted: requested " + std::to_string(bytes) +
@@ -73,19 +78,39 @@ class Device {
   }
 
   /// Host -> device staging; accumulates simulated PCIe transfer time.
+  /// Fails with kUnavailable (retryable) under an installed fault plan; no
+  /// data moves on failure.
   template <typename T>
-  void CopyToDevice(DeviceBuffer<T>& dst, const T* src, size_t n) {
+  Status CopyToDevice(DeviceBuffer<T>& dst, const T* src, size_t n) {
+    if (n == 0) return Status::OK();
+    if (fault_plan_ != nullptr) {
+      MPTOPK_RETURN_NOT_OK(
+          fault_plan_->OnTransfer(n * sizeof(T), /*readback=*/false));
+    }
     std::memcpy(dst.host_data(), src, n * sizeof(T));
     pcie_ms_ += static_cast<double>(n * sizeof(T)) /
                 (spec_.pcie_bw_gbps * 1e9) * 1e3;
+    return Status::OK();
   }
 
   /// Device -> host readback; accumulates simulated PCIe transfer time.
+  /// Fails with kUnavailable (retryable) under an installed fault plan; the
+  /// plan may also silently corrupt one bit of a "successful" readback
+  /// (FaultPlanConfig::corrupt_readback_index) to exercise verification.
   template <typename T>
-  void CopyToHost(T* dst, const DeviceBuffer<T>& src, size_t n) {
+  Status CopyToHost(T* dst, const DeviceBuffer<T>& src, size_t n) {
+    if (n == 0) return Status::OK();
+    if (fault_plan_ != nullptr) {
+      MPTOPK_RETURN_NOT_OK(
+          fault_plan_->OnTransfer(n * sizeof(T), /*readback=*/true));
+    }
     std::memcpy(dst, src.host_data(), n * sizeof(T));
+    if (fault_plan_ != nullptr) {
+      fault_plan_->CorruptReadback(dst, n * sizeof(T));
+    }
     pcie_ms_ += static_cast<double>(n * sizeof(T)) /
                 (spec_.pcie_bw_gbps * 1e9) * 1e3;
+    return Status::OK();
   }
 
   /// Launches `body(Block&)` over the grid, returning traced metrics and the
@@ -94,6 +119,10 @@ class Device {
   /// ResourceExhausted — e.g. per-thread top-k at k=512, paper Section 4.1).
   template <typename F>
   StatusOr<KernelStats> Launch(const LaunchConfig& cfg, F&& body) {
+    if (fault_plan_ != nullptr) {
+      Status st = fault_plan_->OnLaunch(cfg.name);
+      if (!st.ok()) return st;
+    }
     if (cfg.grid_dim <= 0 || cfg.block_dim <= 0) {
       return Status::InvalidArgument("launch dims must be positive");
     }
@@ -149,6 +178,18 @@ class Device {
   /// per launch and extrapolate.
   void set_trace_sample_target(int target) { trace_sample_target_ = target; }
 
+  /// Installs (or clears, with nullptr) a deterministic fault plan consulted
+  /// by Alloc / CopyToDevice / CopyToHost / Launch. The device shares
+  /// ownership so tests can keep inspecting the plan's stats().
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
+  FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
+  /// Charges extra simulated latency to this device (e.g. the resilient
+  /// executor's retry backoff) so end-to-end simulated time reflects it.
+  void AddSimulatedDelayMs(double ms) { total_sim_ms_ += ms; }
+
   /// Simulated kernel milliseconds accumulated since construction/reset.
   double total_sim_ms() const { return total_sim_ms_; }
   /// Simulated PCIe staging milliseconds.
@@ -170,6 +211,7 @@ class Device {
 
  private:
   DeviceSpec spec_;
+  std::shared_ptr<FaultPlan> fault_plan_;
   size_t allocated_bytes_ = 0;
   uint64_t next_addr_ = 4096;  // leave page 0 unmapped
   int trace_sample_target_ = 0;

@@ -1,0 +1,103 @@
+#include "simt/fault_injection.h"
+
+namespace mptopk::simt {
+namespace {
+
+// SplitMix64 — decorrelates small user seeds before feeding xorshift64*.
+uint64_t Mix(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultPlanConfig& config) : config_(config) {
+  Reset();
+}
+
+void FaultPlan::Reset() {
+  stats_ = FaultStats{};
+  rng_state_ = Mix(config_.seed);
+  if (rng_state_ == 0) rng_state_ = 0x2545F4914F6CDD1Dull;
+}
+
+uint64_t FaultPlan::NextRand() {
+  uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+Status FaultPlan::OnAlloc(size_t bytes) {
+  ++stats_.allocs_seen;
+  if (config_.fail_alloc_index > 0 &&
+      stats_.allocs_seen == config_.fail_alloc_index) {
+    ++stats_.allocs_failed;
+    return Status::ResourceExhausted(
+        "injected allocation failure (alloc #" +
+        std::to_string(stats_.allocs_seen) + ", " + std::to_string(bytes) +
+        " bytes)");
+  }
+  if (config_.fail_alloc_above_bytes > 0 &&
+      bytes > config_.fail_alloc_above_bytes) {
+    ++stats_.allocs_failed;
+    return Status::ResourceExhausted(
+        "injected allocation failure (" + std::to_string(bytes) +
+        " bytes exceeds injected limit " +
+        std::to_string(config_.fail_alloc_above_bytes) + ")");
+  }
+  return Status::OK();
+}
+
+Status FaultPlan::OnTransfer(size_t bytes, bool readback) {
+  ++stats_.transfers_seen;
+  if (readback) ++stats_.readbacks_seen;
+  if (config_.fail_transfer_index > 0 &&
+      stats_.transfers_seen == config_.fail_transfer_index) {
+    ++stats_.transfers_failed;
+    return Status::Unavailable(
+        "injected transient transfer fault (transfer #" +
+        std::to_string(stats_.transfers_seen) + ", " + std::to_string(bytes) +
+        " bytes)");
+  }
+  if (config_.transient_transfer_prob > 0.0) {
+    // 53-bit uniform in [0, 1); deterministic given seed and op order.
+    double u = static_cast<double>(NextRand() >> 11) * 0x1.0p-53;
+    if (u < config_.transient_transfer_prob) {
+      ++stats_.transfers_failed;
+      return Status::Unavailable(
+          "injected transient transfer fault (transfer #" +
+          std::to_string(stats_.transfers_seen) + ", p=" +
+          std::to_string(config_.transient_transfer_prob) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultPlan::OnLaunch(const char* kernel_name) {
+  ++stats_.launches_seen;
+  if (config_.fail_launch_index > 0 &&
+      stats_.launches_seen == config_.fail_launch_index) {
+    ++stats_.launches_aborted;
+    return Status::Unavailable(
+        "injected kernel launch abort (launch #" +
+        std::to_string(stats_.launches_seen) + ", kernel '" +
+        std::string(kernel_name) + "')");
+  }
+  return Status::OK();
+}
+
+void FaultPlan::CorruptReadback(void* dst, size_t bytes) {
+  if (config_.corrupt_readback_index <= 0 || bytes == 0) return;
+  if (stats_.readbacks_seen != config_.corrupt_readback_index) return;
+  ++stats_.corruptions;
+  const uint64_t bit = NextRand() % (bytes * 8);
+  static_cast<unsigned char*>(dst)[bit / 8] ^=
+      static_cast<unsigned char>(1u << (bit % 8));
+}
+
+}  // namespace mptopk::simt

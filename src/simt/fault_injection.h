@@ -1,0 +1,113 @@
+// Deterministic fault injection for the simulated device.
+//
+// A FaultPlan is a seedable script of device failures, installed on a
+// simt::Device with `dev.set_fault_plan(plan)`. Every fallible device
+// operation consults the plan before executing:
+//
+//   * Alloc       -> kResourceExhausted at a chosen allocation index or
+//                    above a byte threshold ("the Nth allocation fails").
+//   * CopyToDevice / CopyToHost
+//                 -> transient kUnavailable faults, either at chosen
+//                    transfer indices or with a seeded per-transfer
+//                    probability. Retrying the copy advances the transfer
+//                    counter, so a retried operation succeeds unless the
+//                    plan also fails the next index.
+//   * Launch      -> kUnavailable abort at a chosen launch index.
+//   * CopyToHost  -> optional single-bit corruption of the transferred
+//                    buffer (the copy itself reports success), exercising
+//                    result verification in planner/resilient.h.
+//
+// Determinism: all decisions derive from the plan's configuration, its seed
+// and the order of device operations — no wall clock, no global state. The
+// same plan on the same workload injects byte-for-byte the same faults, so
+// failure tests are exactly reproducible (see tests/failure_injection_test.cc
+// and docs/robustness.md).
+#ifndef MPTOPK_SIMT_FAULT_INJECTION_H_
+#define MPTOPK_SIMT_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace mptopk::simt {
+
+/// Declarative description of the faults to inject. Indices are 1-based and
+/// count operations made after the plan is installed; 0 disables a trigger.
+struct FaultPlanConfig {
+  /// Seeds the PRNG behind probabilistic triggers and the corruption bit
+  /// choice. Two plans with equal config produce identical fault sequences.
+  uint64_t seed = 0;
+
+  /// One-shot: the Nth Alloc fails with kResourceExhausted, later ones
+  /// succeed (models a temporarily fragmented / oversubscribed device).
+  int fail_alloc_index = 0;
+  /// Persistent: every Alloc larger than this fails with kResourceExhausted
+  /// (0 = disabled). Models a capacity cliff without shrinking the spec.
+  size_t fail_alloc_above_bytes = 0;
+
+  /// One-shot: the Nth transfer (host->device and device->host share one
+  /// counter) fails with kUnavailable.
+  int fail_transfer_index = 0;
+  /// Per-transfer probability of a transient kUnavailable failure, decided
+  /// by the seeded PRNG (0 = disabled).
+  double transient_transfer_prob = 0.0;
+
+  /// One-shot: the Nth kernel launch aborts with kUnavailable before
+  /// executing any block.
+  int fail_launch_index = 0;
+
+  /// One-shot: the Nth device->host transfer completes "successfully" but
+  /// with one seed-chosen bit flipped in the destination buffer.
+  int corrupt_readback_index = 0;
+};
+
+/// Counters of what the plan saw and did (cumulative since installation).
+struct FaultStats {
+  int allocs_seen = 0;
+  int allocs_failed = 0;
+  int transfers_seen = 0;   ///< host->device + device->host
+  int readbacks_seen = 0;   ///< device->host only
+  int transfers_failed = 0;
+  int launches_seen = 0;
+  int launches_aborted = 0;
+  int corruptions = 0;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultPlanConfig& config);
+
+  const FaultPlanConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Re-arms all one-shot triggers and zeroes counters and the PRNG state,
+  /// as if the plan had just been constructed.
+  void Reset();
+
+  // --- Device hooks (called by simt::Device; return non-OK to inject) -------
+
+  /// Consulted by Device::Alloc before the capacity check.
+  Status OnAlloc(size_t bytes);
+  /// Consulted by CopyToDevice / CopyToHost before the transfer happens.
+  /// `readback` marks device->host transfers.
+  Status OnTransfer(size_t bytes, bool readback);
+  /// Consulted by Device::Launch before any block runs.
+  Status OnLaunch(const char* kernel_name);
+  /// Applied by CopyToHost after a successful transfer: flips one bit of
+  /// `dst` when this readback is the configured corruption target.
+  void CorruptReadback(void* dst, size_t bytes);
+
+ private:
+  uint64_t NextRand();  // xorshift64*, seeded from config_.seed
+
+  FaultPlanConfig config_;
+  FaultStats stats_;
+  uint64_t rng_state_ = 0;
+};
+
+}  // namespace mptopk::simt
+
+#endif  // MPTOPK_SIMT_FAULT_INJECTION_H_

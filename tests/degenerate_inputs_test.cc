@@ -1,0 +1,222 @@
+// Degenerate-input coverage across every GPU algorithm and the CPU
+// baselines: k = 0, k = n, k > n, n = 0, all-duplicate keys, and NaN / +-Inf
+// keys. The NaN contract (common/key_transform.h) is enforced here: every
+// algorithm must agree that all NaNs are equal and rank above +Inf.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/distributions.h"
+#include "common/key_transform.h"
+#include "cputopk/cpu_topk.h"
+#include "gputopk/topk.h"
+
+namespace mptopk {
+namespace {
+
+using gpu::Algorithm;
+using gpu::AlgorithmName;
+using cpu::CpuAlgorithm;
+using cpu::CpuAlgorithmName;
+
+constexpr Algorithm kAllGpu[] = {Algorithm::kSort, Algorithm::kPerThread,
+                                 Algorithm::kRadixSelect,
+                                 Algorithm::kBucketSelect, Algorithm::kBitonic};
+constexpr CpuAlgorithm kAllCpu[] = {CpuAlgorithm::kStlPq, CpuAlgorithm::kHandPq,
+                                    CpuAlgorithm::kBitonic};
+
+// Reference top-k under the library's one true ordering (ordered bits, so
+// NaN-safe): descending, ties kept.
+std::vector<uint32_t> ReferenceOrderedBits(const std::vector<float>& data,
+                                           size_t k) {
+  std::vector<float> ref = data;
+  std::sort(ref.begin(), ref.end(),
+            [](float a, float b) { return OrderedLess(b, a); });
+  ref.resize(std::min(ref.size(), k));
+  std::vector<uint32_t> bits;
+  for (float v : ref) bits.push_back(KeyTraits<float>::ToOrderedBits(v));
+  return bits;
+}
+
+std::vector<uint32_t> ToBits(const std::vector<float>& items) {
+  std::vector<uint32_t> bits;
+  for (float v : items) bits.push_back(KeyTraits<float>::ToOrderedBits(v));
+  return bits;
+}
+
+TEST(DegenerateInputsTest, KZeroRejectedEverywhere) {
+  auto data = GenerateFloats(1024, Distribution::kUniform);
+  for (Algorithm algo : kAllGpu) {
+    simt::Device dev;
+    auto r = gpu::TopK(dev, data.data(), data.size(), 0, algo);
+    ASSERT_FALSE(r.ok()) << AlgorithmName(algo);
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << AlgorithmName(algo);
+  }
+  for (CpuAlgorithm algo : kAllCpu) {
+    auto r = cpu::CpuTopK(data.data(), data.size(), 0, algo);
+    ASSERT_FALSE(r.ok()) << CpuAlgorithmName(algo);
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << CpuAlgorithmName(algo);
+  }
+}
+
+TEST(DegenerateInputsTest, NZeroRejectedEverywhere) {
+  float dummy = 0.0f;
+  for (Algorithm algo : kAllGpu) {
+    simt::Device dev;
+    auto r = gpu::TopK(dev, &dummy, 0, 4, algo);
+    EXPECT_FALSE(r.ok()) << AlgorithmName(algo);
+  }
+  for (CpuAlgorithm algo : kAllCpu) {
+    auto r = cpu::CpuTopK(&dummy, 0, 4, algo);
+    EXPECT_FALSE(r.ok()) << CpuAlgorithmName(algo);
+  }
+}
+
+TEST(DegenerateInputsTest, KGreaterThanNRejectedEverywhere) {
+  auto data = GenerateFloats(256, Distribution::kUniform);
+  for (Algorithm algo : kAllGpu) {
+    simt::Device dev;
+    auto r = gpu::TopK(dev, data.data(), data.size(), 257, algo);
+    ASSERT_FALSE(r.ok()) << AlgorithmName(algo);
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << AlgorithmName(algo);
+  }
+  for (CpuAlgorithm algo : kAllCpu) {
+    auto r = cpu::CpuTopK(data.data(), data.size(), 257, algo);
+    ASSERT_FALSE(r.ok()) << CpuAlgorithmName(algo);
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << CpuAlgorithmName(algo);
+  }
+}
+
+TEST(DegenerateInputsTest, KEqualsNReturnsFullSort) {
+  const size_t n = 64;
+  auto data = GenerateFloats(n, Distribution::kUniform);
+  const auto ref = ReferenceOrderedBits(data, n);
+  for (Algorithm algo : kAllGpu) {
+    simt::Device dev;
+    auto r = gpu::TopK(dev, data.data(), n, n, algo);
+    if (!r.ok()) {
+      // Per-thread heaps may exceed shared memory at k = n — a documented
+      // feasibility limit (paper Section 4.1), reported as a clean error.
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+          << AlgorithmName(algo) << ": " << r.status();
+      continue;
+    }
+    EXPECT_EQ(ToBits(r->items), ref) << AlgorithmName(algo);
+  }
+  for (CpuAlgorithm algo : kAllCpu) {
+    auto r = cpu::CpuTopK(data.data(), n, n, algo);
+    ASSERT_TRUE(r.ok()) << CpuAlgorithmName(algo) << ": " << r.status();
+    EXPECT_EQ(ToBits(r->items), ref) << CpuAlgorithmName(algo);
+  }
+}
+
+TEST(DegenerateInputsTest, AllDuplicateKeys) {
+  const size_t n = 4096;
+  const size_t k = 16;
+  std::vector<float> data(n, 7.5f);
+  for (Algorithm algo : kAllGpu) {
+    simt::Device dev;
+    auto r = gpu::TopK(dev, data.data(), n, k, algo);
+    ASSERT_TRUE(r.ok()) << AlgorithmName(algo) << ": " << r.status();
+    ASSERT_EQ(r->items.size(), k) << AlgorithmName(algo);
+    for (float v : r->items) EXPECT_EQ(v, 7.5f) << AlgorithmName(algo);
+  }
+  for (CpuAlgorithm algo : kAllCpu) {
+    auto r = cpu::CpuTopK(data.data(), n, k, algo);
+    ASSERT_TRUE(r.ok()) << CpuAlgorithmName(algo) << ": " << r.status();
+    ASSERT_EQ(r->items.size(), k) << CpuAlgorithmName(algo);
+    for (float v : r->items) EXPECT_EQ(v, 7.5f) << CpuAlgorithmName(algo);
+  }
+}
+
+// The consistency contract: every algorithm — selection-based (which ranks
+// through ordered bits) and comparison-based (which ranks through
+// ElementTraits::Less) — must agree on inputs containing NaN and +-Inf.
+TEST(DegenerateInputsTest, NanAndInfinityOrderingIsConsistent) {
+  const size_t n = 4096;
+  const size_t k = 8;
+  auto data = GenerateFloats(n, Distribution::kUniform);
+  data[17] = std::numeric_limits<float>::quiet_NaN();
+  data[101] = -std::numeric_limits<float>::quiet_NaN();  // sign/payload vary
+  data[1023] = std::nanf("0x42");
+  data[5] = std::numeric_limits<float>::infinity();
+  data[4000] = -std::numeric_limits<float>::infinity();
+
+  const auto ref = ReferenceOrderedBits(data, k);
+  // The contract itself: three NaNs first (all equal, greatest), +Inf next.
+  ASSERT_EQ(ref[0], KeyTraits<float>::ToOrderedBits(
+                        std::numeric_limits<float>::quiet_NaN()));
+  ASSERT_EQ(ref[0], ref[1]);
+  ASSERT_EQ(ref[1], ref[2]);
+  ASSERT_EQ(ref[3], KeyTraits<float>::ToOrderedBits(
+                        std::numeric_limits<float>::infinity()));
+
+  for (Algorithm algo : kAllGpu) {
+    simt::Device dev;
+    auto r = gpu::TopK(dev, data.data(), n, k, algo);
+    ASSERT_TRUE(r.ok()) << AlgorithmName(algo) << ": " << r.status();
+    EXPECT_EQ(ToBits(r->items), ref) << AlgorithmName(algo);
+    EXPECT_TRUE(IsNanKey(r->items[0])) << AlgorithmName(algo);
+    EXPECT_TRUE(std::isinf(r->items[3])) << AlgorithmName(algo);
+  }
+  for (CpuAlgorithm algo : kAllCpu) {
+    auto r = cpu::CpuTopK(data.data(), n, k, algo, /*threads=*/2);
+    ASSERT_TRUE(r.ok()) << CpuAlgorithmName(algo) << ": " << r.status();
+    EXPECT_EQ(ToBits(r->items), ref) << CpuAlgorithmName(algo);
+  }
+}
+
+TEST(DegenerateInputsTest, NanOrderingHoldsForDouble) {
+  const size_t n = 2048;
+  const size_t k = 4;
+  std::vector<double> data(n);
+  for (size_t i = 0; i < n; ++i) data[i] = static_cast<double>(i) * 0.25;
+  data[99] = std::numeric_limits<double>::quiet_NaN();
+  data[100] = std::numeric_limits<double>::infinity();
+
+  simt::Device dev;
+  auto g = gpu::TopK(dev, data.data(), n, k, Algorithm::kBitonic);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_TRUE(IsNanKey(g->items[0]));
+  EXPECT_TRUE(std::isinf(g->items[1]));
+
+  auto c = cpu::CpuTopK(data.data(), n, k, CpuAlgorithm::kBitonic);
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_TRUE(IsNanKey(c->items[0]));
+  EXPECT_TRUE(std::isinf(c->items[1]));
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(KeyTraits<double>::ToOrderedBits(g->items[i]),
+              KeyTraits<double>::ToOrderedBits(c->items[i]));
+  }
+}
+
+// All-NaN input: still returns k items, all NaN, from every algorithm.
+TEST(DegenerateInputsTest, AllNanInput) {
+  const size_t n = 2048;
+  const size_t k = 8;
+  std::vector<float> data(n, std::numeric_limits<float>::quiet_NaN());
+  for (Algorithm algo : kAllGpu) {
+    simt::Device dev;
+    auto r = gpu::TopK(dev, data.data(), n, k, algo);
+    ASSERT_TRUE(r.ok()) << AlgorithmName(algo) << ": " << r.status();
+    ASSERT_EQ(r->items.size(), k) << AlgorithmName(algo);
+    for (float v : r->items) EXPECT_TRUE(IsNanKey(v)) << AlgorithmName(algo);
+  }
+  for (CpuAlgorithm algo : kAllCpu) {
+    auto r = cpu::CpuTopK(data.data(), n, k, algo);
+    ASSERT_TRUE(r.ok()) << CpuAlgorithmName(algo) << ": " << r.status();
+    ASSERT_EQ(r->items.size(), k) << CpuAlgorithmName(algo);
+    for (float v : r->items) {
+      EXPECT_TRUE(IsNanKey(v)) << CpuAlgorithmName(algo);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mptopk
