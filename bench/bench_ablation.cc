@@ -26,14 +26,8 @@ int Main(int argc, char** argv) {
   DefineCommonFlags(&flags, "20");
   flags.Define("sweep", "opts", "opts | B");
   flags.Define("k", "32", "result size (paper ablates top-32)");
-  if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (flags.help_requested()) {
-    flags.PrintHelp(argv[0]);
-    return 0;
-  }
+  int exit_code = 0;
+  if (!BenchInit(flags, argc, argv, &exit_code)) return exit_code;
   const size_t n = size_t{1} << flags.GetInt("n_log2");
   const size_t k = flags.GetInt("k");
   const int ts = static_cast<int>(flags.GetInt("trace_sample"));
@@ -49,7 +43,7 @@ int Main(int argc, char** argv) {
       o.elems_per_thread = b;
       simt::KernelMetrics m;
       double ms = RunBitonic(data, k, o, ts, &m);
-      t.AddRow({std::to_string(b), TablePrinter::Cell(ms, 3),
+      t.AddRow({std::to_string(b), MsCell(ms),
                 std::to_string(m.bank_conflict_cycles),
                 b >= 64 ? "block shrinks to fit shared memory" : ""});
     }
@@ -93,7 +87,7 @@ int Main(int argc, char** argv) {
       return 1;
     }
     const auto& m = dev.total_metrics();
-    t.AddRow({lvl.name, TablePrinter::Cell(r->kernel_ms, 3),
+    t.AddRow({lvl.name, MsCell(r->kernel_ms),
               TablePrinter::Cell(m.global_bytes / 1e6, 1),
               std::to_string(m.shared_cycles),
               std::to_string(m.bank_conflict_cycles),

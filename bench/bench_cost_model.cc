@@ -13,14 +13,8 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   DefineCommonFlags(&flags, "20");
-  if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (flags.help_requested()) {
-    flags.PrintHelp(argv[0]);
-    return 0;
-  }
+  int exit_code = 0;
+  if (!BenchInit(flags, argc, argv, &exit_code)) return exit_code;
   const size_t n = size_t{1} << flags.GetInt("n_log2");
   const int ts = static_cast<int>(flags.GetInt("trace_sample"));
   auto data = GenerateFloats(n, Distribution::kUniform, flags.GetInt("seed"));
@@ -35,11 +29,10 @@ int Main(int argc, char** argv) {
     cost::Workload w{n, NextPowerOfTwo(k), 4, 4, Distribution::kUniform};
     t.AddRow({
         std::to_string(k),
-        TablePrinter::Cell(RunGpu(gpu::Algorithm::kBitonic, data, k, ts), 3),
-        TablePrinter::Cell(cost::BitonicTopKCostMs(spec, w), 3),
-        TablePrinter::Cell(RunGpu(gpu::Algorithm::kRadixSelect, data, k, ts),
-                           3),
-        TablePrinter::Cell(cost::RadixSelectCostMs(spec, w), 3),
+        MsCell(RunGpu(gpu::Algorithm::kBitonic, data, k, ts)),
+        MsCell(cost::BitonicTopKCostMs(spec, w)),
+        MsCell(RunGpu(gpu::Algorithm::kRadixSelect, data, k, ts)),
+        MsCell(cost::RadixSelectCostMs(spec, w)),
     });
   }
   PrintTable(t, flags.GetBool("csv"));

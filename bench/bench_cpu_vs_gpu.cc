@@ -28,21 +28,14 @@ int Main(int argc, char** argv) {
   DefineCommonFlags(&flags, "20");
   flags.Define("dist", "uniform", "uniform | increasing");
   flags.Define("threads", "0", "CPU threads (0 = hardware concurrency)");
-  if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (flags.help_requested()) {
-    flags.PrintHelp(argv[0]);
-    return 0;
-  }
+  int exit_code = 0;
+  if (!BenchInit(flags, argc, argv, &exit_code)) return exit_code;
   const size_t n = size_t{1} << flags.GetInt("n_log2");
   const int ts = static_cast<int>(flags.GetInt("trace_sample"));
   const int threads = static_cast<int>(flags.GetInt("threads"));
   auto dist_or = ParseDistribution(flags.GetString("dist"));
   if (!dist_or.ok()) {
-    std::fprintf(stderr, "%s\n", dist_or.status().ToString().c_str());
-    return 1;
+    return FailWith(dist_or.status());
   }
   auto data = GenerateFloats(n, *dist_or, flags.GetInt("seed"));
 
@@ -62,9 +55,8 @@ int Main(int argc, char** argv) {
                                   threads), 2),
         TablePrinter::Cell(RunCpu(cpu::CpuAlgorithm::kBitonic, data, k,
                                   threads), 2),
-        TablePrinter::Cell(RunGpu(gpu::Algorithm::kBitonic, data, k, ts), 3),
-        TablePrinter::Cell(RunGpu(gpu::Algorithm::kRadixSelect, data, k, ts),
-                           3),
+        MsCell(RunGpu(gpu::Algorithm::kBitonic, data, k, ts)),
+        MsCell(RunGpu(gpu::Algorithm::kRadixSelect, data, k, ts)),
     });
   }
   PrintTable(table, flags.GetBool("csv"));

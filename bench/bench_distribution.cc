@@ -20,20 +20,13 @@ int Main(int argc, char** argv) {
   flags.Define("dist", "increasing",
                "distribution: uniform | increasing | decreasing | "
                "bucket_killer");
-  if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (flags.help_requested()) {
-    flags.PrintHelp(argv[0]);
-    return 0;
-  }
+  int exit_code = 0;
+  if (!BenchInit(flags, argc, argv, &exit_code)) return exit_code;
   const size_t n = size_t{1} << flags.GetInt("n_log2");
   const int ts = static_cast<int>(flags.GetInt("trace_sample"));
   auto dist_or = ParseDistribution(flags.GetString("dist"));
   if (!dist_or.ok()) {
-    std::fprintf(stderr, "%s\n", dist_or.status().ToString().c_str());
-    return 1;
+    return FailWith(dist_or.status());
   }
   const Distribution dist = *dist_or;
 
@@ -54,7 +47,7 @@ int Main(int argc, char** argv) {
            {gpu::Algorithm::kSort, gpu::Algorithm::kPerThread,
             gpu::Algorithm::kRadixSelect, gpu::Algorithm::kBucketSelect,
             gpu::Algorithm::kBitonic}) {
-        row.push_back(TablePrinter::Cell(RunGpu(a, data, k, ts), 3));
+        row.push_back(MsCell(RunGpu(a, data, k, ts)));
       }
       table.AddRow(std::move(row));
     }

@@ -14,6 +14,7 @@
 // (fused) kernel additionally removes the materialization round-trip
 // (paper: ~30% kernel-time saving at selectivity 1).
 #include "bench/bench_util.h"
+#include "engine/batch.h"
 #include "engine/query.h"
 #include "engine/tweets.h"
 
@@ -38,29 +39,102 @@ StatusOr<StrategyTimes> RunStrategy(engine::Table& table, const Filter& f,
   return StrategyTimes{res.kernel_ms, res.end_to_end_ms};
 }
 
+// The standing mix for --batch mode: Q1..Q4 shapes cycled to length n.
+std::vector<engine::BatchQuery> MakeTweetQueryMix(int n) {
+  const Ranking by_retweets{{{"retweet_count", 1.0}}};
+  std::vector<engine::BatchQuery> qs;
+  for (int i = 0; i < n; ++i) {
+    engine::BatchQuery q;
+    switch (i % 4) {
+      case 0:
+        q.label = "q1-time-filter";
+        q.filter = Filter{{{"tweet_time", CompareOp::kLt,
+                            0.5 * engine::kTweetTimeRange}}};
+        q.ranking = by_retweets;
+        q.k = 50;
+        break;
+      case 1:
+        q.label = "q2-custom-rank";
+        q.ranking = Ranking{{{"retweet_count", 1.0}, {"likes_count", 0.5}}};
+        q.k = 64;
+        break;
+      case 2:
+        q.label = "q3-lang-or";
+        q.filter = Filter{{{"lang", CompareOp::kEq, engine::kLangEn},
+                           {"lang", CompareOp::kEq, engine::kLangEs}}};
+        q.ranking = by_retweets;
+        q.k = 64;
+        q.strategy = engine::TopKStrategy::kFilterBitonic;
+        break;
+      default:
+        q.label = "q4-groupby-uid";
+        q.kind = engine::BatchQuery::Kind::kGroupByCount;
+        q.group_column = "uid";
+        q.k = 50;
+        break;
+    }
+    qs.push_back(std::move(q));
+  }
+  return qs;
+}
+
+// --batch=N: run N concurrent Q1..Q4 queries through engine::BatchExecutor.
+int RunBatchMode(simt::Device& dev, engine::Table& table, int batch_n,
+                 int streams, bool csv) {
+  engine::BatchExecutor exec(table, streams);
+  auto report_or = exec.Execute(MakeTweetQueryMix(batch_n));
+  if (!report_or.ok()) return FailWith(report_or.status());
+  const engine::BatchReport& rep = report_or.value();
+
+  std::printf("# BatchExecutor: %d queries on %d streams (pooling %s)\n",
+              batch_n, streams, dev.pooling_enabled() ? "on" : "off");
+  TablePrinter t({"query", "stream", "start ms", "finish ms", "kernel ms",
+                  "status"});
+  for (const auto& item : rep.items) {
+    double kernel_ms = item.group_result.kernel_ms > 0
+                           ? item.group_result.kernel_ms
+                           : item.result.kernel_ms;
+    t.AddRow({item.label, std::to_string(item.stream_id),
+              MsCell(item.start_ms), MsCell(item.finish_ms),
+              MsCell(kernel_ms),
+              item.status.ok() ? "ok" : item.status.ToString()});
+  }
+  PrintTable(t, csv);
+  std::printf("%s\n", rep.Summary().c_str());
+  std::printf("footprint %.1f MiB | peak %zu bytes | q/s %.2f\n",
+              rep.footprint_bytes / (1024.0 * 1024.0),
+              rep.peak_allocated_bytes, rep.queries_per_sec);
+  return rep.failed == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   Flags flags;
   DefineCommonFlags(&flags, "20");
   flags.Define("query", "1", "paper query number 1..4");
-  if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (flags.help_requested()) {
-    flags.PrintHelp(argv[0]);
-    return 0;
-  }
+  flags.Define("batch", "0",
+               "run N concurrent Q1..Q4 queries through BatchExecutor "
+               "instead of a figure sweep");
+  flags.Define("streams", "4", "stream count for --batch mode");
+  flags.Define("no_pool", "false",
+               "disable allocator pooling (no-reuse baseline) in --batch");
+  int exit_code = 0;
+  if (!BenchInit(flags, argc, argv, &exit_code)) return exit_code;
   const size_t rows = size_t{1} << flags.GetInt("n_log2");
   const bool csv = flags.GetBool("csv");
   simt::Device dev;
   dev.set_trace_sample_target(
       static_cast<int>(flags.GetInt("trace_sample")));
+  if (flags.GetBool("no_pool")) dev.set_pooling(false);
   auto table_or = engine::MakeTweetsTable(&dev, rows, flags.GetInt("seed"));
   if (!table_or.ok()) {
-    std::fprintf(stderr, "%s\n", table_or.status().ToString().c_str());
-    return 1;
+    return FailWith(table_or.status());
   }
   auto table = std::move(table_or).value();
+  if (flags.GetInt("batch") > 0) {
+    return RunBatchMode(dev, *table, static_cast<int>(flags.GetInt("batch")),
+                        std::max(1, static_cast<int>(flags.GetInt("streams"))),
+                        csv);
+  }
   const int query = static_cast<int>(flags.GetInt("query"));
   const Ranking by_retweets{{{"retweet_count", 1.0}}};
 
@@ -70,7 +144,7 @@ int Main(int argc, char** argv) {
                            TopKStrategy::kFilterBitonic,
                            TopKStrategy::kCombinedBitonic}) {
       MPTOPK_ASSIGN_OR_RETURN(auto t, RunStrategy(*table, f, r, k, s));
-      row->push_back(TablePrinter::Cell(t.kernel_ms, 3));
+      row->push_back(MsCell(t.kernel_ms));
     }
     return Status::OK();
   };
@@ -87,8 +161,7 @@ int Main(int argc, char** argv) {
                    s10 / 10.0 * engine::kTweetTimeRange}}};
         std::vector<std::string> row{TablePrinter::Cell(s10 / 10.0, 1)};
         if (auto st = run_three(f, by_retweets, 50, &row); !st.ok()) {
-          std::fprintf(stderr, "%s\n", st.ToString().c_str());
-          return 1;
+          return FailWith(st);
         }
         t.AddRow(std::move(row));
       }
@@ -105,8 +178,7 @@ int Main(int argc, char** argv) {
       for (size_t k : PowersOfTwo(16, 512)) {
         std::vector<std::string> row{std::to_string(k)};
         if (auto st = run_three(Filter{}, rank, k, &row); !st.ok()) {
-          std::fprintf(stderr, "%s\n", st.ToString().c_str());
-          return 1;
+          return FailWith(st);
         }
         t.AddRow(std::move(row));
       }
@@ -123,8 +195,7 @@ int Main(int argc, char** argv) {
       for (size_t k : PowersOfTwo(16, 512)) {
         std::vector<std::string> row{std::to_string(k)};
         if (auto st = run_three(f, by_retweets, k, &row); !st.ok()) {
-          std::fprintf(stderr, "%s\n", st.ToString().c_str());
-          return 1;
+          return FailWith(st);
         }
         t.AddRow(std::move(row));
       }
@@ -140,13 +211,12 @@ int Main(int argc, char** argv) {
                      engine::GroupByStrategy::kBitonic}) {
         auto r = engine::GroupByCountTopKQuery(*table, "uid", 50, s);
         if (!r.ok()) {
-          std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-          return 1;
+          return FailWith(r.status());
         }
         t.AddRow({s == engine::GroupByStrategy::kSort ? "Sort" : "Bitonic",
-                  TablePrinter::Cell(r->groupby_ms, 3),
-                  TablePrinter::Cell(r->topk_ms, 3),
-                  TablePrinter::Cell(r->kernel_ms, 3)});
+                  MsCell(r->groupby_ms),
+                  MsCell(r->topk_ms),
+                  MsCell(r->kernel_ms)});
       }
       PrintTable(t, csv);
       break;

@@ -13,14 +13,8 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   DefineCommonFlags(&flags, "21");
-  if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (flags.help_requested()) {
-    flags.PrintHelp(argv[0]);
-    return 0;
-  }
+  int exit_code = 0;
+  if (!BenchInit(flags, argc, argv, &exit_code)) return exit_code;
   const size_t n = size_t{1} << flags.GetInt("n_log2");
   const int ts = static_cast<int>(flags.GetInt("trace_sample"));
   const uint64_t seed = flags.GetInt("seed");
@@ -37,12 +31,12 @@ int Main(int argc, char** argv) {
     TablePrinter t({"k", "Hybrid", "BitonicTopK", "RadixSelect"});
     for (size_t k : PowersOfTwo(8, 1024)) {
       t.AddRow({std::to_string(k),
-                TablePrinter::Cell(RunGpu(gpu::Algorithm::kHybrid, data, k,
-                                          ts), 3),
-                TablePrinter::Cell(RunGpu(gpu::Algorithm::kBitonic, data, k,
-                                          ts), 3),
-                TablePrinter::Cell(RunGpu(gpu::Algorithm::kRadixSelect, data,
-                                          k, ts), 3)});
+                MsCell(RunGpu(gpu::Algorithm::kHybrid, data, k,
+                                          ts)),
+                MsCell(RunGpu(gpu::Algorithm::kBitonic, data, k,
+                                          ts)),
+                MsCell(RunGpu(gpu::Algorithm::kRadixSelect, data,
+                                          k, ts))});
     }
     PrintTable(t, flags.GetBool("csv"));
     std::printf("\n");

@@ -47,14 +47,8 @@ std::vector<KKKV> MakeTuples(size_t n, uint64_t seed) {
 int Main(int argc, char** argv) {
   Flags flags;
   DefineCommonFlags(&flags, "20");
-  if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (flags.help_requested()) {
-    flags.PrintHelp(argv[0]);
-    return 0;
-  }
+  int exit_code = 0;
+  if (!BenchInit(flags, argc, argv, &exit_code)) return exit_code;
   const size_t n = size_t{1} << flags.GetInt("n_log2");
   const int ts = static_cast<int>(flags.GetInt("trace_sample"));
   const uint64_t seed = flags.GetInt("seed");
@@ -70,14 +64,12 @@ int Main(int argc, char** argv) {
   for (size_t k : PowersOfTwo(1, 1024)) {
     table.AddRow({
         std::to_string(k),
-        TablePrinter::Cell(RunGpu(gpu::Algorithm::kRadixSelect, kv, k, ts), 3),
-        TablePrinter::Cell(RunGpu(gpu::Algorithm::kBitonic, kv, k, ts), 3),
-        TablePrinter::Cell(RunGpu(gpu::Algorithm::kRadixSelect, kkv, k, ts),
-                           3),
-        TablePrinter::Cell(RunGpu(gpu::Algorithm::kBitonic, kkv, k, ts), 3),
-        TablePrinter::Cell(RunGpu(gpu::Algorithm::kRadixSelect, kkkv, k, ts),
-                           3),
-        TablePrinter::Cell(RunGpu(gpu::Algorithm::kBitonic, kkkv, k, ts), 3),
+        MsCell(RunGpu(gpu::Algorithm::kRadixSelect, kv, k, ts)),
+        MsCell(RunGpu(gpu::Algorithm::kBitonic, kv, k, ts)),
+        MsCell(RunGpu(gpu::Algorithm::kRadixSelect, kkv, k, ts)),
+        MsCell(RunGpu(gpu::Algorithm::kBitonic, kkv, k, ts)),
+        MsCell(RunGpu(gpu::Algorithm::kRadixSelect, kkkv, k, ts)),
+        MsCell(RunGpu(gpu::Algorithm::kBitonic, kkkv, k, ts)),
     });
   }
   PrintTable(table, flags.GetBool("csv"));

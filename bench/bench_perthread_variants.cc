@@ -27,14 +27,8 @@ double RunVariant(const std::vector<float>& data, size_t k, bool registers,
 int Main(int argc, char** argv) {
   Flags flags;
   DefineCommonFlags(&flags, "20");
-  if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (flags.help_requested()) {
-    flags.PrintHelp(argv[0]);
-    return 0;
-  }
+  int exit_code = 0;
+  if (!BenchInit(flags, argc, argv, &exit_code)) return exit_code;
   const size_t n = size_t{1} << flags.GetInt("n_log2");
   const int ts = static_cast<int>(flags.GetInt("trace_sample"));
 
@@ -50,8 +44,8 @@ int Main(int argc, char** argv) {
       uint64_t local = 0;
       double reg_ms = RunVariant(data, k, /*registers=*/true, ts, &local);
       double shm_ms = RunVariant(data, k, /*registers=*/false, ts, nullptr);
-      t.AddRow({std::to_string(k), TablePrinter::Cell(reg_ms, 3),
-                TablePrinter::Cell(shm_ms, 3),
+      t.AddRow({std::to_string(k), MsCell(reg_ms),
+                MsCell(shm_ms),
                 TablePrinter::Cell(local / 1e6, 1)});
     }
     PrintTable(t, flags.GetBool("csv"));

@@ -51,14 +51,8 @@ double RunResilient(const std::vector<float>& data, size_t k,
 int Main(int argc, char** argv) {
   Flags flags;
   DefineCommonFlags(&flags, "20");
-  if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (flags.help_requested()) {
-    flags.PrintHelp(argv[0]);
-    return 0;
-  }
+  int exit_code = 0;
+  if (!BenchInit(flags, argc, argv, &exit_code)) return exit_code;
   const size_t n = size_t{1} << flags.GetInt("n_log2");
   const bool csv = flags.GetBool("csv");
   const int ts = static_cast<int>(flags.GetInt("trace_sample"));
@@ -87,11 +81,11 @@ int Main(int argc, char** argv) {
     const double faulted =
         RunResilient(data, k, ts, &cfg, &faulted_added, &last_summary);
     const double overhead = (resilient - direct) / direct * 100.0;
-    table.AddRow({std::to_string(k), TablePrinter::Cell(direct, 3),
-                  TablePrinter::Cell(resilient, 3),
+    table.AddRow({std::to_string(k), MsCell(direct),
+                  MsCell(resilient),
                   TablePrinter::Cell(overhead, 2),
-                  TablePrinter::Cell(faulted, 3),
-                  TablePrinter::Cell(faulted_added, 3)});
+                  MsCell(faulted),
+                  MsCell(faulted_added)});
   }
   PrintTable(table, csv);
   std::printf("# faulted-run report: %s\n", last_summary.c_str());

@@ -60,6 +60,33 @@ inline void PrintTable(TablePrinter& table, bool csv) {
   }
 }
 
+/// One-stop bench main() preamble: parses argv against the (already
+/// defined) flags, prints parse errors to stderr and --help to stdout.
+/// Returns false when main should immediately return *exit_code.
+inline bool BenchInit(Flags& flags, int argc, char** argv, int* exit_code) {
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    *exit_code = 1;
+    return false;
+  }
+  if (flags.help_requested()) {
+    flags.PrintHelp(argv[0]);
+    *exit_code = 0;
+    return false;
+  }
+  return true;
+}
+
+/// One exit path for a failed Status inside a bench main: print, return 1.
+inline int FailWith(const Status& st) {
+  std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  return 1;
+}
+
+/// The one milliseconds-cell format every bench table reports through
+/// (3 decimals; NaN — infeasible configuration — renders as '-').
+inline std::string MsCell(double ms) { return TablePrinter::Cell(ms, 3); }
+
 inline std::vector<size_t> PowersOfTwo(size_t lo, size_t hi) {
   std::vector<size_t> v;
   for (size_t k = lo; k <= hi; k <<= 1) v.push_back(k);

@@ -25,9 +25,9 @@ void Run(const std::vector<E>& data, bool csv, int trace_sample) {
          {gpu::Algorithm::kSort, gpu::Algorithm::kPerThread,
           gpu::Algorithm::kRadixSelect, gpu::Algorithm::kBucketSelect,
           gpu::Algorithm::kBitonic}) {
-      row.push_back(TablePrinter::Cell(RunGpu(a, data, k, trace_sample), 3));
+      row.push_back(MsCell(RunGpu(a, data, k, trace_sample)));
     }
-    row.push_back(TablePrinter::Cell(floor_ms, 3));
+    row.push_back(MsCell(floor_ms));
     table.AddRow(std::move(row));
   }
   PrintTable(table, csv);
@@ -37,14 +37,8 @@ int Main(int argc, char** argv) {
   Flags flags;
   DefineCommonFlags(&flags, "20");
   flags.Define("dtype", "f32", "key type: f32 | u32 | f64");
-  if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (flags.help_requested()) {
-    flags.PrintHelp(argv[0]);
-    return 0;
-  }
+  int exit_code = 0;
+  if (!BenchInit(flags, argc, argv, &exit_code)) return exit_code;
   const size_t n = size_t{1} << flags.GetInt("n_log2");
   const bool csv = flags.GetBool("csv");
   const int ts = static_cast<int>(flags.GetInt("trace_sample"));

@@ -15,14 +15,8 @@ int Main(int argc, char** argv) {
   flags.Define("min_log2", "16", "smallest input size (log2)");
   flags.Define("max_log2", "22", "largest input size (log2)");
   flags.Define("k", "64", "result size (paper fixes k=64)");
-  if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (flags.help_requested()) {
-    flags.PrintHelp(argv[0]);
-    return 0;
-  }
+  int exit_code = 0;
+  if (!BenchInit(flags, argc, argv, &exit_code)) return exit_code;
   const int ts = static_cast<int>(flags.GetInt("trace_sample"));
   const size_t k = flags.GetInt("k");
 
@@ -39,7 +33,7 @@ int Main(int argc, char** argv) {
          {gpu::Algorithm::kSort, gpu::Algorithm::kPerThread,
           gpu::Algorithm::kRadixSelect, gpu::Algorithm::kBucketSelect,
           gpu::Algorithm::kBitonic}) {
-      row.push_back(TablePrinter::Cell(RunGpu(a, data, k, ts), 3));
+      row.push_back(MsCell(RunGpu(a, data, k, ts)));
     }
     table.AddRow(std::move(row));
   }

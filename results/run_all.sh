@@ -23,3 +23,14 @@ $B/bench_ablation --sweep=opts --n_log2=$N > results/sec43_ablation_ladder.txt
 $B/bench_ablation --sweep=B --n_log2=$N > results/fig8_elems_per_thread.txt
 $B/bench_perthread_variants --n_log2=$N > results/fig18_perthread_variants.txt
 $B/bench_hybrid --n_log2=$N > results/sec8_hybrid.txt
+{
+  echo "# Batched execution (engine::BatchExecutor): Q1..Q4 tweet-query mix,"
+  echo "# n=2^$N rows. Streams overlap in simulated time; host execution is"
+  echo "# sequential so per-query results are bit-identical to the serial path."
+  for b in 1 4 16; do
+    echo; echo "## batch=$b streams=$b (pooled)"
+    $B/bench_engine --batch=$b --streams=$b --n_log2=$N
+  done
+  echo; echo "## batch=16 streams=16 (--no_pool baseline)"
+  $B/bench_engine --batch=16 --streams=16 --no_pool=true --n_log2=$N
+} > results/batching.txt

@@ -14,12 +14,23 @@ constexpr int kBlockDim = 256;
 constexpr double kMs = 1e3;
 
 double Bg(const simt::DeviceSpec& spec) { return spec.global_bw_gbps * 1e9; }
+/// Global bandwidth available to one stream of `w`: the device pipe divided
+/// by the expected number of concurrently executing streams. Shared-memory
+/// bandwidth (Bs) is a per-SM resource and is not divided.
+double Bg(const simt::DeviceSpec& spec, const Workload& w) {
+  return Bg(spec) / GlobalContention(w);
+}
 double Bs(const simt::DeviceSpec& spec) { return spec.shared_bw_gbps * 1e9; }
 double LaunchMs(const simt::DeviceSpec& spec) {
   return spec.kernel_launch_overhead_us * 1e-3;
 }
 
 }  // namespace
+
+double GlobalContention(const Workload& w) {
+  return w.concurrent_streams > 1 ? static_cast<double>(w.concurrent_streams)
+                                  : 1.0;
+}
 
 std::vector<double> RadixSelectEtas(const Workload& w) {
   const int passes = static_cast<int>(w.key_size);
@@ -56,7 +67,7 @@ std::vector<double> RadixSelectEtas(const Workload& w) {
 
 double RadixSelectCostMs(const simt::DeviceSpec& spec, const Workload& w) {
   const auto etas = RadixSelectEtas(w);
-  const double bg = Bg(spec);
+  const double bg = Bg(spec, w);
   double total_s = 0;
   double candidates = static_cast<double>(w.n);
   for (double eta : etas) {
@@ -82,7 +93,7 @@ double RadixSelectCostMs(const simt::DeviceSpec& spec, const Workload& w) {
 BitonicCostBreakdown BitonicTopKCost(const simt::DeviceSpec& spec,
                                      const Workload& w) {
   BitonicCostBreakdown out;
-  const double bg = Bg(spec);
+  const double bg = Bg(spec, w);
   const double bs = Bs(spec);
   const size_t es = w.elem_size;
 
@@ -166,14 +177,14 @@ double SortCostMs(const simt::DeviceSpec& spec, const Workload& w) {
   const double d_bytes = static_cast<double>(w.n) * w.elem_size;
   // Per pass: histogram read + scatter read + scatter write, global-bound
   // (shared staging traffic ~8 accesses/elem stays under the global time).
-  const double global_s = passes * 3.0 * d_bytes / Bg(spec);
+  const double global_s = passes * 3.0 * d_bytes / Bg(spec, w);
   const double shared_s =
       passes * 8.0 * d_bytes / Bs(spec);
   return std::max(global_s, shared_s) * kMs + 3 * passes * LaunchMs(spec);
 }
 
 double BucketSelectCostMs(const simt::DeviceSpec& spec, const Workload& w) {
-  const double bg = Bg(spec);
+  const double bg = Bg(spec, w);
   const double bs = Bs(spec);
   double total_s = static_cast<double>(w.n) * w.elem_size / bg;  // min/max
   if (w.k == 1) return total_s * kMs + 2 * LaunchMs(spec);
@@ -204,7 +215,7 @@ double PerThreadCostMs(const simt::DeviceSpec& spec, const Workload& w) {
   }
   if (nt < 32) return -1.0;  // infeasible (paper Section 4.1)
 
-  const double bg = Bg(spec);
+  const double bg = Bg(spec, w);
   const double bs = Bs(spec);
   const int max_threads = spec.num_sms * spec.max_threads_per_sm;
   const int log_k = std::max(1, Log2Ceil(w.k));
@@ -270,7 +281,7 @@ double PerThreadCostMs(const simt::DeviceSpec& spec, const Workload& w) {
 }
 
 double HybridCostMs(const simt::DeviceSpec& spec, const Workload& w) {
-  const double bg = Bg(spec);
+  const double bg = Bg(spec, w);
   const size_t sample = 16384;
   if (w.n <= 4 * sample) return BitonicTopKCostMs(spec, w);
   if (w.dist == Distribution::kBucketKiller) {

@@ -39,7 +39,16 @@ struct Workload {
   size_t elem_size = 4;  ///< bytes per element (key [+ payload])
   size_t key_size = 4;   ///< bytes of the radix key
   Distribution dist = Distribution::kUniform;
+  /// Streams expected to execute concurrently with this query (>= 1).
+  /// Global memory bandwidth is shared across streams, so every
+  /// global-bandwidth-bound term scales by this factor while shared-memory
+  /// terms (a per-SM resource) do not — which shifts the planner toward
+  /// shared-memory-bound algorithms (bitonic) under heavy batching.
+  int concurrent_streams = 1;
 };
+
+/// Effective global-bandwidth divisor for `w` (>= 1).
+double GlobalContention(const Workload& w);
 
 /// Per-pass candidate-survival fractions eta_i for radix select under the
 /// given distribution (uniform ints: 1/256 per pass; uniform U(0,1) floats:

@@ -141,7 +141,7 @@ StatusOr<CompiledQuery> Compile(const Table& table, const Filter& filter,
 
 // Materializes matched (rank, row) pairs compacted into `out` (scan-based
 // staging, coalesced write-out); counters[0] accumulates the match count.
-Status LaunchFilterProject(simt::Device& dev, const CompiledQuery& q,
+Status LaunchFilterProject(const simt::ExecCtx& dev, const CompiledQuery& q,
                            size_t n, GlobalSpan<KV> out,
                            GlobalSpan<uint32_t> counters) {
   const int grid = static_cast<int>(
@@ -220,7 +220,7 @@ Status LaunchFilterProject(simt::Device& dev, const CompiledQuery& q,
 // SortReducer reduction on the buffer, emitting tile/2^merges candidates
 // (bitonic k-runs) per flush. counters[0] = candidates emitted,
 // counters[1] = matched rows.
-Status LaunchFusedFilterTopK(simt::Device& dev, const CompiledQuery& q,
+Status LaunchFusedFilterTopK(const simt::ExecCtx& dev, const CompiledQuery& q,
                              size_t n, size_t k,
                              const gpu::bitonic::Geometry<KV>& g,
                              GlobalSpan<KV> out,
@@ -337,7 +337,7 @@ Status LaunchFusedFilterTopK(simt::Device& dev, const CompiledQuery& q,
 }
 
 // Fetches the id column for the (small) top-k row set.
-Status LaunchGatherIds(simt::Device& dev, GlobalSpan<int64_t> id_col,
+Status LaunchGatherIds(const simt::ExecCtx& dev, GlobalSpan<int64_t> id_col,
                        GlobalSpan<uint32_t> rows, size_t count,
                        GlobalSpan<int64_t> out) {
   auto st = dev.Launch(
@@ -359,7 +359,7 @@ uint32_t HashSlots(size_t n) {
 }
 
 // Open-addressing hash build: keys via CAS, counts via atomicAdd.
-Status LaunchHashBuild(simt::Device& dev, GlobalSpan<int32_t> group_col,
+Status LaunchHashBuild(const simt::ExecCtx& dev, GlobalSpan<int32_t> group_col,
                        size_t n, GlobalSpan<uint32_t> keys,
                        GlobalSpan<uint32_t> counts, uint32_t mask) {
   const int grid = static_cast<int>(
@@ -389,7 +389,7 @@ Status LaunchHashBuild(simt::Device& dev, GlobalSpan<int32_t> group_col,
 }
 
 // Compacts occupied hash slots into (count, key) pairs.
-Status LaunchCompactGroups(simt::Device& dev, GlobalSpan<uint32_t> keys,
+Status LaunchCompactGroups(const simt::ExecCtx& dev, GlobalSpan<uint32_t> keys,
                            GlobalSpan<uint32_t> counts, size_t slots,
                            GlobalSpan<KV> out,
                            GlobalSpan<uint32_t> counters) {
@@ -451,7 +451,7 @@ Status LaunchCompactGroups(simt::Device& dev, GlobalSpan<uint32_t> keys,
 
 // Runs the top-k step through the resilient executor and captures its
 // one-line report for the query result.
-StatusOr<TopKResult<KV>> ResilientStep(simt::Device& dev,
+StatusOr<TopKResult<KV>> ResilientStep(const simt::ExecCtx& dev,
                                        DeviceBuffer<KV>& data, size_t n,
                                        size_t k, const ExecOptions& exec,
                                        std::string* summary) {
@@ -472,7 +472,8 @@ StatusOr<QueryResult> FilterTopKQuery(Table& table, const Filter& filter,
                                       TopKStrategy strategy,
                                       const ExecOptions& exec) {
   if (k == 0) return Status::InvalidArgument("k must be positive");
-  simt::Device& dev = *table.device();
+  simt::ExecCtx default_ctx(*table.device());
+  const simt::ExecCtx& dev = exec.ctx != nullptr ? *exec.ctx : default_ctx;
   const size_t n = table.num_rows();
   MPTOPK_ASSIGN_OR_RETURN(const Column* id_col_ptr,
                           table.GetColumn(id_column));
@@ -599,7 +600,8 @@ StatusOr<GroupByResult> GroupByCountTopKQuery(Table& table,
                                               size_t k, GroupByStrategy strategy,
                                               const ExecOptions& exec) {
   if (k == 0) return Status::InvalidArgument("k must be positive");
-  simt::Device& dev = *table.device();
+  simt::ExecCtx default_ctx(*table.device());
+  const simt::ExecCtx& dev = exec.ctx != nullptr ? *exec.ctx : default_ctx;
   const size_t n = table.num_rows();
   MPTOPK_ASSIGN_OR_RETURN(const Column* gcol, table.GetColumn(group_column));
   if (gcol->type != ColumnType::kInt32) {

@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "engine/table.h"
 #include "planner/resilient.h"
+#include "simt/exec_ctx.h"
 
 namespace mptopk::engine {
 
@@ -94,6 +95,10 @@ struct ExecOptions {
   /// path when the fused reduction fails).
   bool resilient = false;
   planner::ResilienceOptions resilience;
+  /// Execution context for the whole query (stream + arena). nullptr runs
+  /// on the table device's default stream — the legacy single-query path.
+  /// Set by engine::BatchExecutor to interleave queries across streams.
+  const simt::ExecCtx* ctx = nullptr;
 };
 
 struct QueryResult {

@@ -251,7 +251,7 @@ void StoreTile(Block& blk, SharedSpan<E> s, GlobalSpan<E> out, size_t out_base,
 // Reduces each tile of `tile` elements to tile >> merges outputs (bitonic
 // k-runs).
 template <typename E>
-Status LaunchSortReducer(simt::Device& dev, GlobalSpan<E> in, size_t n,
+Status LaunchSortReducer(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
                          GlobalSpan<E> out, size_t k, const Geometry<E>& g) {
   const int grid = static_cast<int>(CeilDiv(n, g.tile));
   const size_t opb = g.tile >> g.merges;  // outputs per block
@@ -282,7 +282,7 @@ Status LaunchSortReducer(simt::Device& dev, GlobalSpan<E> in, size_t n,
 
 // Fused kernel 2 (BitonicReducer): (rebuild, merge)*r on bitonic k-runs.
 template <typename E>
-Status LaunchBitonicReducer(simt::Device& dev, GlobalSpan<E> in, size_t m_in,
+Status LaunchBitonicReducer(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t m_in,
                             GlobalSpan<E> out, size_t k,
                             const Geometry<E>& g) {
   const int grid = static_cast<int>(CeilDiv(m_in, g.tile));
@@ -313,7 +313,7 @@ Status LaunchBitonicReducer(simt::Device& dev, GlobalSpan<E> in, size_t m_in,
 // needs the initial local sort (small-n fast path) or consists of bitonic
 // k-runs (reducer pipeline output).
 template <typename E>
-Status LaunchFinalReduce(simt::Device& dev, GlobalSpan<E> in, size_t m_in,
+Status LaunchFinalReduce(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t m_in,
                          GlobalSpan<E> out_k, size_t k, bool unsorted,
                          const Geometry<E>& g) {
   const size_t p2 = NextPowerOfTwo(std::max(m_in, k));

@@ -36,7 +36,7 @@ using namespace bitonic;
 // One bitonic step over global memory (the fully naive baseline: one kernel
 // launch per step).
 template <typename E>
-Status LaunchGlobalStep(simt::Device& dev, GlobalSpan<E> data, size_t m,
+Status LaunchGlobalStep(const simt::ExecCtx& dev, GlobalSpan<E> data, size_t m,
                         Step step, const Geometry<E>& g) {
   const size_t pairs = m / 2;
   const int block = g.nt;
@@ -66,7 +66,7 @@ Status LaunchGlobalStep(simt::Device& dev, GlobalSpan<E> data, size_t m,
 
 // Merge over global memory: out[j] = max(in[i], in[i+k]) (ping-pong).
 template <typename E>
-Status LaunchGlobalMerge(simt::Device& dev, GlobalSpan<E> in, size_t m,
+Status LaunchGlobalMerge(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t m,
                          GlobalSpan<E> out, size_t k, const Geometry<E>& g) {
   const size_t outs = m / 2;
   const int block = g.nt;
@@ -94,7 +94,7 @@ Status LaunchGlobalMerge(simt::Device& dev, GlobalSpan<E> in, size_t m,
 // step's comparison distance stays within a tile (true for local sort and
 // rebuild, whose distances are < k <= tile/2).
 template <typename E>
-Status LaunchStagedSteps(simt::Device& dev, GlobalSpan<E> data, size_t m,
+Status LaunchStagedSteps(const simt::ExecCtx& dev, GlobalSpan<E> data, size_t m,
                          const std::vector<Step>& steps, const char* name,
                          const Geometry<E>& g) {
   const size_t tile = std::min(g.tile, m);
@@ -115,7 +115,7 @@ Status LaunchStagedSteps(simt::Device& dev, GlobalSpan<E> data, size_t m,
 
 // Copies in[0,n) into work[0,p2), sentinel-padding the tail.
 template <typename E>
-Status LaunchCopyPad(simt::Device& dev, GlobalSpan<E> in, size_t n,
+Status LaunchCopyPad(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
                      GlobalSpan<E> work, size_t p2, const Geometry<E>& g) {
   const E sentinel = ElementTraits<E>::LowestSentinel();
   const int block = g.nt;
@@ -138,7 +138,7 @@ Status LaunchCopyPad(simt::Device& dev, GlobalSpan<E> in, size_t n,
 // The global-memory pipeline used by both the fully naive variant and the
 // shared-staged (unfused) variant.
 template <typename E>
-Status RunUnfused(simt::Device& dev, DeviceBuffer<E>& data, size_t n, size_t k,
+Status RunUnfused(const simt::ExecCtx& dev, DeviceBuffer<E>& data, size_t n, size_t k,
                   const BitonicOptions& opts, const Geometry<E>& g,
                   DeviceBuffer<E>* out_k) {
   const size_t p2 = NextPowerOfTwo(std::max(n, 2 * k));
@@ -194,7 +194,7 @@ Status RunUnfused(simt::Device& dev, DeviceBuffer<E>& data, size_t n, size_t k,
 
 // The fused pipeline: SortReducer, BitonicReducer*, FinalReduce.
 template <typename E>
-Status RunFused(simt::Device& dev, DeviceBuffer<E>& data, size_t n, size_t k,
+Status RunFused(const simt::ExecCtx& dev, DeviceBuffer<E>& data, size_t n, size_t k,
                 const Geometry<E>& g, DeviceBuffer<E>* out_k) {
   GlobalSpan<E> in(data);
   GlobalSpan<E> out(*out_k);
@@ -222,7 +222,7 @@ Status RunFused(simt::Device& dev, DeviceBuffer<E>& data, size_t n, size_t k,
 }  // namespace
 
 template <typename E>
-StatusOr<TopKResult<E>> BitonicTopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> BitonicTopKDevice(const simt::ExecCtx& dev,
                                           DeviceBuffer<E>& data, size_t n,
                                           size_t k,
                                           const BitonicOptions& opts) {
@@ -257,7 +257,7 @@ StatusOr<TopKResult<E>> BitonicTopKDevice(simt::Device& dev,
 }
 
 template <typename E>
-StatusOr<TopKResult<E>> BitonicReduceRuns(simt::Device& dev,
+StatusOr<TopKResult<E>> BitonicReduceRuns(const simt::ExecCtx& dev,
                                           DeviceBuffer<E>& runs, size_t m,
                                           size_t k,
                                           const BitonicOptions& opts) {
@@ -304,7 +304,7 @@ StatusOr<TopKResult<E>> BitonicReduceRuns(simt::Device& dev,
 }
 
 template <typename E>
-StatusOr<TopKResult<E>> BitonicTopK(simt::Device& dev, const E* data, size_t n,
+StatusOr<TopKResult<E>> BitonicTopK(const simt::ExecCtx& dev, const E* data, size_t n,
                                     size_t k, const BitonicOptions& opts) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
   MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(buf, data, n));
@@ -313,12 +313,12 @@ StatusOr<TopKResult<E>> BitonicTopK(simt::Device& dev, const E* data, size_t n,
 
 #define MPTOPK_INSTANTIATE_BITONIC(E)                                        \
   template StatusOr<TopKResult<E>> BitonicTopKDevice<E>(                     \
-      simt::Device&, DeviceBuffer<E>&, size_t, size_t,                       \
+      const simt::ExecCtx&, DeviceBuffer<E>&, size_t, size_t,                       \
       const BitonicOptions&);                                                \
   template StatusOr<TopKResult<E>> BitonicTopK<E>(                           \
-      simt::Device&, const E*, size_t, size_t, const BitonicOptions&);       \
+      const simt::ExecCtx&, const E*, size_t, size_t, const BitonicOptions&);       \
   template StatusOr<TopKResult<E>> BitonicReduceRuns<E>(                     \
-      simt::Device&, DeviceBuffer<E>&, size_t, size_t,                       \
+      const simt::ExecCtx&, DeviceBuffer<E>&, size_t, size_t,                       \
       const BitonicOptions&);
 
 MPTOPK_INSTANTIATE_BITONIC(float)

@@ -35,6 +35,7 @@
 #include "common/tuple_types.h"
 #include "gputopk/topk_result.h"
 #include "simt/device.h"
+#include "simt/exec_ctx.h"
 
 namespace mptopk::gpu {
 
@@ -70,7 +71,7 @@ struct BitonicOptions {
 /// Instantiated for: float, double, uint32_t, int32_t, uint64_t, int64_t,
 /// KV, KV64, KKV, KKKV.
 template <typename E>
-StatusOr<TopKResult<E>> BitonicTopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> BitonicTopKDevice(const simt::ExecCtx& dev,
                                           simt::DeviceBuffer<E>& data,
                                           size_t n, size_t k,
                                           const BitonicOptions& opts = {});
@@ -80,7 +81,7 @@ StatusOr<TopKResult<E>> BitonicTopKDevice(simt::Device& dev,
 /// fused filter+top-k kernel) down to the sorted top-k. m must be a
 /// multiple of k.
 template <typename E>
-StatusOr<TopKResult<E>> BitonicReduceRuns(simt::Device& dev,
+StatusOr<TopKResult<E>> BitonicReduceRuns(const simt::ExecCtx& dev,
                                           simt::DeviceBuffer<E>& runs,
                                           size_t m, size_t k,
                                           const BitonicOptions& opts = {});
@@ -88,7 +89,7 @@ StatusOr<TopKResult<E>> BitonicReduceRuns(simt::Device& dev,
 /// Convenience wrapper: stages `data` host->device (PCIe-accounted), runs
 /// BitonicTopKDevice, reads back the k results.
 template <typename E>
-StatusOr<TopKResult<E>> BitonicTopK(simt::Device& dev, const E* data,
+StatusOr<TopKResult<E>> BitonicTopK(const simt::ExecCtx& dev, const E* data,
                                     size_t n, size_t k,
                                     const BitonicOptions& opts = {});
 

@@ -50,7 +50,7 @@ uint32_t BucketOf(U v, U lo, U width) {
 // First pass: min/max of the key bits (shared tree reduction per block, one
 // global atomic pair per block).
 template <typename E>
-Status LaunchMinMax(simt::Device& dev, GlobalSpan<E> in, size_t n,
+Status LaunchMinMax(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
                     GlobalSpan<uint64_t> minmax) {
   const size_t tile = BucketTile<E>();
   const int grid = static_cast<int>(
@@ -97,7 +97,7 @@ Status LaunchMinMax(simt::Device& dev, GlobalSpan<E> in, size_t n,
 
 // k == 1 fast path: one more scan to fetch (any) element matching the max.
 template <typename E>
-Status LaunchGatherMax(simt::Device& dev, GlobalSpan<E> in, size_t n,
+Status LaunchGatherMax(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
                        uint64_t max_bits, GlobalSpan<E> result,
                        GlobalSpan<uint32_t> flag) {
   const size_t tile = BucketTile<E>();
@@ -125,7 +125,7 @@ Status LaunchGatherMax(simt::Device& dev, GlobalSpan<E> in, size_t n,
 
 // 16-bin histogram over the current range.
 template <typename E>
-Status LaunchBucketHistogram(simt::Device& dev, GlobalSpan<E> in, size_t n,
+Status LaunchBucketHistogram(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
                              KeyBits<E> lo, KeyBits<E> width,
                              GlobalSpan<uint32_t> hist) {
   const size_t tile = BucketTile<E>();
@@ -162,7 +162,7 @@ Status LaunchBucketHistogram(simt::Device& dev, GlobalSpan<E> in, size_t n,
 // Emits elements above the pivot bucket into the result and pivot-bucket
 // elements into next_cand via scan-based per-tile compaction.
 template <typename E>
-Status LaunchBucketCluster(simt::Device& dev, GlobalSpan<E> in, size_t n,
+Status LaunchBucketCluster(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
                            KeyBits<E> lo, KeyBits<E> width, uint32_t pivot,
                            GlobalSpan<E> result, size_t emitted,
                            GlobalSpan<E> next_cand,
@@ -192,7 +192,7 @@ Status LaunchBucketCluster(simt::Device& dev, GlobalSpan<E> in, size_t n,
 }
 
 template <typename E>
-Status LaunchCopyOut(simt::Device& dev, GlobalSpan<E> src, size_t count,
+Status LaunchCopyOut(const simt::ExecCtx& dev, GlobalSpan<E> src, size_t count,
                      GlobalSpan<E> result, size_t emitted) {
   const int grid =
       static_cast<int>(std::min<uint64_t>(256, CeilDiv(count, kBlockDim)));
@@ -214,7 +214,7 @@ Status LaunchCopyOut(simt::Device& dev, GlobalSpan<E> src, size_t count,
 }  // namespace
 
 template <typename E>
-StatusOr<TopKResult<E>> BucketSelectTopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> BucketSelectTopKDevice(const simt::ExecCtx& dev,
                                                DeviceBuffer<E>& data,
                                                size_t n, size_t k) {
   if (k == 0 || k > n) {
@@ -320,7 +320,7 @@ StatusOr<TopKResult<E>> BucketSelectTopKDevice(simt::Device& dev,
 }
 
 template <typename E>
-StatusOr<TopKResult<E>> BucketSelectTopK(simt::Device& dev, const E* data,
+StatusOr<TopKResult<E>> BucketSelectTopK(const simt::ExecCtx& dev, const E* data,
                                          size_t n, size_t k) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
   MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(buf, data, n));
@@ -329,9 +329,9 @@ StatusOr<TopKResult<E>> BucketSelectTopK(simt::Device& dev, const E* data,
 
 #define MPTOPK_INSTANTIATE_BSELECT(E)                                       \
   template StatusOr<TopKResult<E>> BucketSelectTopKDevice<E>(               \
-      simt::Device&, DeviceBuffer<E>&, size_t, size_t);                     \
+      const simt::ExecCtx&, DeviceBuffer<E>&, size_t, size_t);                     \
   template StatusOr<TopKResult<E>> BucketSelectTopK<E>(                     \
-      simt::Device&, const E*, size_t, size_t);
+      const simt::ExecCtx&, const E*, size_t, size_t);
 
 MPTOPK_INSTANTIATE_BSELECT(float)
 MPTOPK_INSTANTIATE_BSELECT(double)

@@ -17,6 +17,7 @@
 #include "common/tuple_types.h"
 #include "gputopk/topk_result.h"
 #include "simt/device.h"
+#include "simt/exec_ctx.h"
 
 namespace mptopk::gpu {
 
@@ -24,13 +25,13 @@ namespace mptopk::gpu {
 /// Any 1 <= k <= n. Ties at the k-th value broken arbitrarily. Input is not
 /// modified.
 template <typename E>
-StatusOr<TopKResult<E>> BucketSelectTopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> BucketSelectTopKDevice(const simt::ExecCtx& dev,
                                                simt::DeviceBuffer<E>& data,
                                                size_t n, size_t k);
 
 /// Host-staging convenience wrapper.
 template <typename E>
-StatusOr<TopKResult<E>> BucketSelectTopK(simt::Device& dev, const E* data,
+StatusOr<TopKResult<E>> BucketSelectTopK(const simt::ExecCtx& dev, const E* data,
                                          size_t n, size_t k);
 
 }  // namespace mptopk::gpu

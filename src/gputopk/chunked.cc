@@ -7,7 +7,7 @@
 namespace mptopk::gpu {
 
 template <typename E>
-StatusOr<ChunkedTopKResult<E>> ChunkedTopK(simt::Device& dev, const E* data,
+StatusOr<ChunkedTopKResult<E>> ChunkedTopK(const simt::ExecCtx& dev, const E* data,
                                            size_t n, size_t k,
                                            size_t chunk_elems,
                                            Algorithm algo) {
@@ -56,7 +56,7 @@ StatusOr<ChunkedTopKResult<E>> ChunkedTopK(simt::Device& dev, const E* data,
 
 #define MPTOPK_INSTANTIATE_CHUNKED(E)                                       \
   template StatusOr<ChunkedTopKResult<E>> ChunkedTopK<E>(                   \
-      simt::Device&, const E*, size_t, size_t, size_t, Algorithm);
+      const simt::ExecCtx&, const E*, size_t, size_t, size_t, Algorithm);
 
 MPTOPK_INSTANTIATE_CHUNKED(float)
 MPTOPK_INSTANTIATE_CHUNKED(double)

@@ -31,7 +31,7 @@ struct ChunkedTopKResult {
 /// Requirements follow the underlying algorithm (default bitonic:
 /// power-of-two k handled via the dispatcher's round-up).
 template <typename E>
-StatusOr<ChunkedTopKResult<E>> ChunkedTopK(simt::Device& dev, const E* data,
+StatusOr<ChunkedTopKResult<E>> ChunkedTopK(const simt::ExecCtx& dev, const E* data,
                                            size_t n, size_t k,
                                            size_t chunk_elems = 0,
                                            Algorithm algo =

@@ -43,7 +43,7 @@ bool KeyAtLeast(const E& e, typename ElementTraits<E>::Key pivot) {
 // Strided sample gather: out[i] = in[i * stride]. Strided reads cost one
 // sector each, which the tracer accounts.
 template <typename E>
-Status LaunchSampleGather(simt::Device& dev, GlobalSpan<E> in, size_t n,
+Status LaunchSampleGather(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
                           GlobalSpan<E> out, size_t s, size_t stride) {
   const int grid = static_cast<int>(
       std::min<uint64_t>(kMaxGrid, CeilDiv(s, kBlockDim)));
@@ -68,7 +68,7 @@ Status LaunchSampleGather(simt::Device& dev, GlobalSpan<E> in, size_t n,
 // block spends one shared slot per warp plus one global counter
 // reservation, then matched lanes write out compacted.
 template <typename E>
-Status LaunchThresholdFilter(simt::Device& dev, GlobalSpan<E> in, size_t n,
+Status LaunchThresholdFilter(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
                              typename ElementTraits<E>::Key pivot,
                              GlobalSpan<E> out, size_t out_capacity,
                              GlobalSpan<uint32_t> counter) {
@@ -150,7 +150,7 @@ Status LaunchThresholdFilter(simt::Device& dev, GlobalSpan<E> in, size_t n,
 }  // namespace
 
 template <typename E>
-StatusOr<TopKResult<E>> HybridTopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> HybridTopKDevice(const simt::ExecCtx& dev,
                                          DeviceBuffer<E>& data, size_t n,
                                          size_t k, const HybridOptions& opts) {
   if (k == 0 || k > n) {
@@ -216,7 +216,7 @@ StatusOr<TopKResult<E>> HybridTopKDevice(simt::Device& dev,
 }
 
 template <typename E>
-StatusOr<TopKResult<E>> HybridTopK(simt::Device& dev, const E* data, size_t n,
+StatusOr<TopKResult<E>> HybridTopK(const simt::ExecCtx& dev, const E* data, size_t n,
                                    size_t k, const HybridOptions& opts) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
   MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(buf, data, n));
@@ -225,10 +225,10 @@ StatusOr<TopKResult<E>> HybridTopK(simt::Device& dev, const E* data, size_t n,
 
 #define MPTOPK_INSTANTIATE_HYBRID(E)                                        \
   template StatusOr<TopKResult<E>> HybridTopKDevice<E>(                     \
-      simt::Device&, DeviceBuffer<E>&, size_t, size_t,                      \
+      const simt::ExecCtx&, DeviceBuffer<E>&, size_t, size_t,                      \
       const HybridOptions&);                                                \
   template StatusOr<TopKResult<E>> HybridTopK<E>(                           \
-      simt::Device&, const E*, size_t, size_t, const HybridOptions&);
+      const simt::ExecCtx&, const E*, size_t, size_t, const HybridOptions&);
 
 MPTOPK_INSTANTIATE_HYBRID(float)
 MPTOPK_INSTANTIATE_HYBRID(double)

@@ -25,6 +25,7 @@
 #include "common/tuple_types.h"
 #include "gputopk/topk_result.h"
 #include "simt/device.h"
+#include "simt/exec_ctx.h"
 
 namespace mptopk::gpu {
 
@@ -38,14 +39,14 @@ struct HybridOptions {
 /// pipeline. Requires power-of-two k (like bitonic; the TopK dispatcher's
 /// round-up applies if you need arbitrary k). Input is not modified.
 template <typename E>
-StatusOr<TopKResult<E>> HybridTopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> HybridTopKDevice(const simt::ExecCtx& dev,
                                          simt::DeviceBuffer<E>& data,
                                          size_t n, size_t k,
                                          const HybridOptions& opts = {});
 
 /// Host-staging convenience wrapper.
 template <typename E>
-StatusOr<TopKResult<E>> HybridTopK(simt::Device& dev, const E* data, size_t n,
+StatusOr<TopKResult<E>> HybridTopK(const simt::ExecCtx& dev, const E* data, size_t n,
                                    size_t k, const HybridOptions& opts = {});
 
 }  // namespace mptopk::gpu

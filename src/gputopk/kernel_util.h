@@ -9,14 +9,15 @@
 #include "common/bits.h"
 #include "common/status.h"
 #include "simt/device.h"
+#include "simt/exec_ctx.h"
 
 namespace mptopk::gpu {
 
 /// Fills buf[offset, offset+count) with `value` using a grid-stride kernel
 /// (counted traffic, like cudaMemset).
 template <typename T>
-Status FillDevice(simt::Device& dev, simt::DeviceBuffer<T>& buf, size_t offset,
-                  size_t count, T value) {
+Status FillDevice(const simt::ExecCtx& dev, simt::DeviceBuffer<T>& buf,
+                  size_t offset, size_t count, T value) {
   if (count == 0) return Status::OK();
   simt::GlobalSpan<T> g(buf);
   const int block = 256;
@@ -34,6 +35,12 @@ Status FillDevice(simt::Device& dev, simt::DeviceBuffer<T>& buf, size_t offset,
         });
       });
   return st.ok() ? Status::OK() : st.status();
+}
+
+template <typename T>
+Status FillDevice(simt::Device& dev, simt::DeviceBuffer<T>& buf, size_t offset,
+                  size_t count, T value) {
+  return FillDevice(simt::ExecCtx(dev), buf, offset, count, value);
 }
 
 /// Block-scope exclusive prefix sum over `count` uint32 values living in
@@ -100,6 +107,8 @@ class DeviceTimeTracker {
   explicit DeviceTimeTracker(simt::Device& dev)
       : dev_(dev), start_ms_(dev.total_sim_ms()),
         start_launches_(dev.kernel_log().size()) {}
+  explicit DeviceTimeTracker(const simt::ExecCtx& ctx)
+      : DeviceTimeTracker(ctx.device()) {}
 
   double ElapsedMs() const { return dev_.total_sim_ms() - start_ms_; }
   int Launches() const {

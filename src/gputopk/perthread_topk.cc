@@ -105,7 +105,7 @@ class SharedHeap {
 // Main pass: NT = grid*nt threads each reduce a strided slice of in[0, m) to
 // a k-heap, then write the heaps out coalesced: out[gtid + j*NT].
 template <typename E>
-Status LaunchHeapPass(simt::Device& dev, GlobalSpan<E> in, size_t m,
+Status LaunchHeapPass(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t m,
                       GlobalSpan<E> out, size_t k, int grid, int nt) {
   const size_t total_threads = static_cast<size_t>(grid) * nt;
   auto st = dev.Launch(
@@ -140,7 +140,7 @@ Status LaunchHeapPass(simt::Device& dev, GlobalSpan<E> in, size_t m,
 // minValue); every insert rewrites one slot and rescans all k. Buffer slots
 // beyond the register budget live in "local memory" (billed bytes).
 template <typename E>
-Status LaunchRegisterPass(simt::Device& dev, GlobalSpan<E> in, size_t m,
+Status LaunchRegisterPass(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t m,
                           GlobalSpan<E> out, size_t k, int grid, int nt,
                           int register_budget) {
   const size_t total_threads = static_cast<size_t>(grid) * nt;
@@ -204,7 +204,7 @@ Status LaunchRegisterPass(simt::Device& dev, GlobalSpan<E> in, size_t m,
 // order (divergence cost of the serial tail is counted, and is negligible
 // against the main passes).
 template <typename E>
-Status LaunchFinal(simt::Device& dev, GlobalSpan<E> in, size_t m,
+Status LaunchFinal(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t m,
                    GlobalSpan<E> out_k, size_t k, int ft) {
   auto st = dev.Launch(
       {.grid_dim = 1, .block_dim = ft, .name = "perthread_final"},
@@ -247,7 +247,7 @@ Status LaunchFinal(simt::Device& dev, GlobalSpan<E> in, size_t m,
 }  // namespace
 
 template <typename E>
-StatusOr<TopKResult<E>> PerThreadTopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> PerThreadTopKDevice(const simt::ExecCtx& dev,
                                             DeviceBuffer<E>& data, size_t n,
                                             size_t k,
                                             const PerThreadOptions& opts) {
@@ -329,7 +329,7 @@ StatusOr<TopKResult<E>> PerThreadTopKDevice(simt::Device& dev,
 }
 
 template <typename E>
-StatusOr<TopKResult<E>> PerThreadTopK(simt::Device& dev, const E* data,
+StatusOr<TopKResult<E>> PerThreadTopK(const simt::ExecCtx& dev, const E* data,
                                       size_t n, size_t k,
                                       const PerThreadOptions& opts) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
@@ -339,10 +339,10 @@ StatusOr<TopKResult<E>> PerThreadTopK(simt::Device& dev, const E* data,
 
 #define MPTOPK_INSTANTIATE_PERTHREAD(E)                                     \
   template StatusOr<TopKResult<E>> PerThreadTopKDevice<E>(                  \
-      simt::Device&, DeviceBuffer<E>&, size_t, size_t,                      \
+      const simt::ExecCtx&, DeviceBuffer<E>&, size_t, size_t,                      \
       const PerThreadOptions&);                                             \
   template StatusOr<TopKResult<E>> PerThreadTopK<E>(                        \
-      simt::Device&, const E*, size_t, size_t, const PerThreadOptions&);
+      const simt::ExecCtx&, const E*, size_t, size_t, const PerThreadOptions&);
 
 MPTOPK_INSTANTIATE_PERTHREAD(float)
 MPTOPK_INSTANTIATE_PERTHREAD(double)

@@ -25,6 +25,7 @@
 #include "common/tuple_types.h"
 #include "gputopk/topk_result.h"
 #include "simt/device.h"
+#include "simt/exec_ctx.h"
 
 namespace mptopk::gpu {
 
@@ -44,14 +45,14 @@ struct PerThreadOptions {
 /// Fails with ResourceExhausted when k * sizeof(E) * 32 exceeds shared
 /// memory per block (paper Section 4.1).
 template <typename E>
-StatusOr<TopKResult<E>> PerThreadTopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> PerThreadTopKDevice(const simt::ExecCtx& dev,
                                             simt::DeviceBuffer<E>& data,
                                             size_t n, size_t k,
                                             const PerThreadOptions& opts = {});
 
 /// Host-staging convenience wrapper.
 template <typename E>
-StatusOr<TopKResult<E>> PerThreadTopK(simt::Device& dev, const E* data,
+StatusOr<TopKResult<E>> PerThreadTopK(const simt::ExecCtx& dev, const E* data,
                                       size_t n, size_t k,
                                       const PerThreadOptions& opts = {});
 

@@ -53,7 +53,7 @@ uint32_t MsdDigitOf(const E& e, int pass) {
 // Blocks cover contiguous element ranges (bounded grid) so the per-block
 // histogram flush amortizes over many tiles.
 template <typename E>
-Status LaunchMsdHistogram(simt::Device& dev, GlobalSpan<E> in, size_t n,
+Status LaunchMsdHistogram(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
                           GlobalSpan<uint32_t> hist, int pass) {
   const size_t tile = SelectTile<E>();
   const int grid = static_cast<int>(
@@ -92,7 +92,7 @@ Status LaunchMsdHistogram(simt::Device& dev, GlobalSpan<E> in, size_t n,
 // per tile; no same-word atomic storms). counters[0] counts emitted-this-
 // pass, counters[1] counts next candidates.
 template <typename E>
-Status LaunchCluster(simt::Device& dev, GlobalSpan<E> in, size_t n,
+Status LaunchCluster(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
                      uint32_t pivot, int pass, GlobalSpan<E> result,
                      size_t emitted, GlobalSpan<E> next_cand,
                      GlobalSpan<uint32_t> counters) {
@@ -122,7 +122,7 @@ Status LaunchCluster(simt::Device& dev, GlobalSpan<E> in, size_t n,
 
 // Copies count elements from src into result[emitted, emitted+count).
 template <typename E>
-Status LaunchCopyOut(simt::Device& dev, GlobalSpan<E> src, size_t count,
+Status LaunchCopyOut(const simt::ExecCtx& dev, GlobalSpan<E> src, size_t count,
                      GlobalSpan<E> result, size_t emitted) {
   const int grid =
       static_cast<int>(std::min<uint64_t>(256, CeilDiv(count, kBlockDim)));
@@ -144,7 +144,7 @@ Status LaunchCopyOut(simt::Device& dev, GlobalSpan<E> src, size_t count,
 }  // namespace
 
 template <typename E>
-StatusOr<TopKResult<E>> RadixSelectTopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> RadixSelectTopKDevice(const simt::ExecCtx& dev,
                                               DeviceBuffer<E>& data, size_t n,
                                               size_t k) {
   if (k == 0 || k > n) {
@@ -231,7 +231,7 @@ StatusOr<TopKResult<E>> RadixSelectTopKDevice(simt::Device& dev,
 }
 
 template <typename E>
-StatusOr<TopKResult<E>> RadixSelectTopK(simt::Device& dev, const E* data,
+StatusOr<TopKResult<E>> RadixSelectTopK(const simt::ExecCtx& dev, const E* data,
                                         size_t n, size_t k) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
   MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(buf, data, n));
@@ -240,9 +240,9 @@ StatusOr<TopKResult<E>> RadixSelectTopK(simt::Device& dev, const E* data,
 
 #define MPTOPK_INSTANTIATE_RSELECT(E)                                       \
   template StatusOr<TopKResult<E>> RadixSelectTopKDevice<E>(                \
-      simt::Device&, DeviceBuffer<E>&, size_t, size_t);                     \
+      const simt::ExecCtx&, DeviceBuffer<E>&, size_t, size_t);                     \
   template StatusOr<TopKResult<E>> RadixSelectTopK<E>(                      \
-      simt::Device&, const E*, size_t, size_t);
+      const simt::ExecCtx&, const E*, size_t, size_t);
 
 MPTOPK_INSTANTIATE_RSELECT(float)
 MPTOPK_INSTANTIATE_RSELECT(double)

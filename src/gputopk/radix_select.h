@@ -18,6 +18,7 @@
 #include "common/tuple_types.h"
 #include "gputopk/topk_result.h"
 #include "simt/device.h"
+#include "simt/exec_ctx.h"
 
 namespace mptopk::gpu {
 
@@ -25,13 +26,13 @@ namespace mptopk::gpu {
 /// Any 1 <= k <= n is supported (k need not be a power of two). Ties at the
 /// k-th value are broken arbitrarily. Input is not modified.
 template <typename E>
-StatusOr<TopKResult<E>> RadixSelectTopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> RadixSelectTopKDevice(const simt::ExecCtx& dev,
                                               simt::DeviceBuffer<E>& data,
                                               size_t n, size_t k);
 
 /// Host-staging convenience wrapper.
 template <typename E>
-StatusOr<TopKResult<E>> RadixSelectTopK(simt::Device& dev, const E* data,
+StatusOr<TopKResult<E>> RadixSelectTopK(const simt::ExecCtx& dev, const E* data,
                                         size_t n, size_t k);
 
 }  // namespace mptopk::gpu

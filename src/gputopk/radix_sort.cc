@@ -56,7 +56,7 @@ uint32_t DigitOf(const E& e, int pass) {
 // block covers a contiguous range of tiles (bounded grid), which both
 // amortizes the flush and keeps the later scatter stable.
 template <typename E>
-Status LaunchHistogram(simt::Device& dev, GlobalSpan<E> in, size_t n,
+Status LaunchHistogram(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
                        GlobalSpan<uint32_t> hist, int pass, int grid,
                        size_t per_block) {
   auto st = dev.Launch(
@@ -90,7 +90,7 @@ Status LaunchHistogram(simt::Device& dev, GlobalSpan<E> in, size_t n,
 
 // Pass 2: exclusive scan over hist[0, count) with one block, chunking
 // through shared memory with a running carry.
-Status LaunchScan(simt::Device& dev, GlobalSpan<uint32_t> hist, size_t count) {
+Status LaunchScan(const simt::ExecCtx& dev, GlobalSpan<uint32_t> hist, size_t count) {
   constexpr size_t kChunk = 2048;
   auto st = dev.Launch(
       {.grid_dim = 1, .block_dim = kBlockDim, .name = "radix_scan"},
@@ -125,7 +125,7 @@ Status LaunchScan(simt::Device& dev, GlobalSpan<uint32_t> hist, size_t count) {
 // offsets (emitted[]) so ranks stay stable across tiles; global bases come
 // from the scanned per-block histogram.
 template <typename E>
-Status LaunchScatter(simt::Device& dev, GlobalSpan<E> in, size_t n,
+Status LaunchScatter(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
                      GlobalSpan<E> out, GlobalSpan<uint32_t> hist_scanned,
                      int pass, int grid, size_t per_block) {
   const size_t tile_n = RadixTile<E>();
@@ -229,7 +229,7 @@ Status LaunchScatter(simt::Device& dev, GlobalSpan<E> in, size_t n,
 }  // namespace
 
 template <typename E>
-Status RadixSortDevice(simt::Device& dev, DeviceBuffer<E>& data, size_t n,
+Status RadixSortDevice(const simt::ExecCtx& dev, DeviceBuffer<E>& data, size_t n,
                        DeviceBuffer<E>* out) {
   if (n == 0) return Status::OK();
   if (out->size() < n) {
@@ -264,7 +264,7 @@ Status RadixSortDevice(simt::Device& dev, DeviceBuffer<E>& data, size_t n,
 }
 
 template <typename E>
-StatusOr<TopKResult<E>> SortTopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> SortTopKDevice(const simt::ExecCtx& dev,
                                        DeviceBuffer<E>& data, size_t n,
                                        size_t k) {
   if (k == 0 || k > n) {
@@ -296,7 +296,7 @@ StatusOr<TopKResult<E>> SortTopKDevice(simt::Device& dev,
 }
 
 template <typename E>
-StatusOr<TopKResult<E>> SortTopK(simt::Device& dev, const E* data, size_t n,
+StatusOr<TopKResult<E>> SortTopK(const simt::ExecCtx& dev, const E* data, size_t n,
                                  size_t k) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
   MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(buf, data, n));
@@ -304,11 +304,11 @@ StatusOr<TopKResult<E>> SortTopK(simt::Device& dev, const E* data, size_t n,
 }
 
 #define MPTOPK_INSTANTIATE_SORT(E)                                          \
-  template Status RadixSortDevice<E>(simt::Device&, DeviceBuffer<E>&,        \
+  template Status RadixSortDevice<E>(const simt::ExecCtx&, DeviceBuffer<E>&,        \
                                      size_t, DeviceBuffer<E>*);              \
   template StatusOr<TopKResult<E>> SortTopKDevice<E>(                        \
-      simt::Device&, DeviceBuffer<E>&, size_t, size_t);                      \
-  template StatusOr<TopKResult<E>> SortTopK<E>(simt::Device&, const E*,      \
+      const simt::ExecCtx&, DeviceBuffer<E>&, size_t, size_t);                      \
+  template StatusOr<TopKResult<E>> SortTopK<E>(const simt::ExecCtx&, const E*,      \
                                                size_t, size_t);
 
 MPTOPK_INSTANTIATE_SORT(float)

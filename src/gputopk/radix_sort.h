@@ -11,25 +11,26 @@
 #include "common/tuple_types.h"
 #include "gputopk/topk_result.h"
 #include "simt/device.h"
+#include "simt/exec_ctx.h"
 
 namespace mptopk::gpu {
 
 /// Sorts `data[0, n)` ascending by primary key into `out` (which must have
 /// size >= n). The input buffer is left unmodified.
 template <typename E>
-Status RadixSortDevice(simt::Device& dev, simt::DeviceBuffer<E>& data,
+Status RadixSortDevice(const simt::ExecCtx& dev, simt::DeviceBuffer<E>& data,
                        size_t n, simt::DeviceBuffer<E>* out);
 
 /// Top-k via full sort: sorts everything, returns the k greatest descending
 /// (paper algorithm "Sort").
 template <typename E>
-StatusOr<TopKResult<E>> SortTopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> SortTopKDevice(const simt::ExecCtx& dev,
                                        simt::DeviceBuffer<E>& data, size_t n,
                                        size_t k);
 
 /// Host-staging convenience wrapper.
 template <typename E>
-StatusOr<TopKResult<E>> SortTopK(simt::Device& dev, const E* data, size_t n,
+StatusOr<TopKResult<E>> SortTopK(const simt::ExecCtx& dev, const E* data, size_t n,
                                  size_t k);
 
 }  // namespace mptopk::gpu

@@ -66,7 +66,7 @@ enum class SortOrder { kLargest, kSmallest };
 /// non-power-of-two k is rounded up internally and the result trimmed, so
 /// any 1 <= k <= n works with every algorithm.
 template <typename E>
-StatusOr<TopKResult<E>> TopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> TopKDevice(const simt::ExecCtx& dev,
                                    simt::DeviceBuffer<E>& data, size_t n,
                                    size_t k, Algorithm algo) {
   if (k == 0 || k > n) {
@@ -106,7 +106,7 @@ StatusOr<TopKResult<E>> TopKDevice(simt::Device& dev,
 /// the order-negated keys (one extra negate-copy pass, counted): every
 /// algorithm, option and distribution guarantee carries over symmetrically.
 template <typename E>
-StatusOr<TopKResult<E>> BottomKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> BottomKDevice(const simt::ExecCtx& dev,
                                       simt::DeviceBuffer<E>& data, size_t n,
                                       size_t k, Algorithm algo) {
   if (k == 0 || k > n) {
@@ -135,7 +135,7 @@ StatusOr<TopKResult<E>> BottomKDevice(simt::Device& dev,
 
 /// Runs the selection in either direction (see SortOrder).
 template <typename E>
-StatusOr<TopKResult<E>> TopKDevice(simt::Device& dev,
+StatusOr<TopKResult<E>> TopKDevice(const simt::ExecCtx& dev,
                                    simt::DeviceBuffer<E>& data, size_t n,
                                    size_t k, Algorithm algo,
                                    SortOrder order) {
@@ -146,7 +146,7 @@ StatusOr<TopKResult<E>> TopKDevice(simt::Device& dev,
 
 /// Host-staging convenience wrapper.
 template <typename E>
-StatusOr<TopKResult<E>> TopK(simt::Device& dev, const E* data, size_t n,
+StatusOr<TopKResult<E>> TopK(const simt::ExecCtx& dev, const E* data, size_t n,
                              size_t k, Algorithm algo = Algorithm::kBitonic,
                              SortOrder order = SortOrder::kLargest) {
   MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));

@@ -40,7 +40,7 @@ StatusOr<Plan> PlanTopK(const simt::DeviceSpec& spec,
 
 /// Convenience: plan, then run the chosen algorithm on device data.
 template <typename E>
-StatusOr<gpu::TopKResult<E>> PlannedTopKDevice(simt::Device& dev,
+StatusOr<gpu::TopKResult<E>> PlannedTopKDevice(const simt::ExecCtx& dev,
                                                simt::DeviceBuffer<E>& data,
                                                size_t n, size_t k,
                                                Distribution hint =
@@ -52,6 +52,7 @@ StatusOr<gpu::TopKResult<E>> PlannedTopKDevice(simt::Device& dev,
   w.key_size = sizeof(typename KeyTraits<
                       typename ElementTraits<E>::Key>::Unsigned);
   w.dist = hint;
+  w.concurrent_streams = dev.concurrency_hint();
   MPTOPK_ASSIGN_OR_RETURN(Plan plan, PlanTopK(dev.spec(), w));
   return gpu::TopKDevice(dev, data, n, k, plan.algorithm);
 }

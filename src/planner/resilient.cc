@@ -34,7 +34,7 @@ uint64_t NextRand(uint64_t* s) {
 }
 
 /// Simulated device clock: kernel time + charged backoff + PCIe staging.
-double DeviceClockMs(const simt::Device& dev) {
+double DeviceClockMs(const simt::ExecCtx& dev) {
   return dev.total_sim_ms() + dev.pcie_ms();
 }
 
@@ -114,7 +114,7 @@ Status VerifyTopK(const E* input, size_t n, const std::vector<E>& items,
 
 /// Charges exponential backoff before retry number `retries` (0-based) to
 /// the device clock and the report, and records it on the attempt.
-void ChargeBackoff(simt::Device& dev, const ResilienceOptions& opts,
+void ChargeBackoff(const simt::ExecCtx& dev, const ResilienceOptions& opts,
                    int retries, AttemptRecord* rec, ExecutionReport* rep) {
   const double backoff =
       opts.backoff_base_ms * static_cast<double>(uint64_t{1} << retries);
@@ -129,7 +129,7 @@ void ChargeBackoff(simt::Device& dev, const ResilienceOptions& opts,
 /// Failed attempts charge their device time (plus backoff) to the report's
 /// added_latency_ms; on success stores the verified items.
 template <typename E, typename F>
-Status RunStage(simt::Device& dev, const ResilienceOptions& opts,
+Status RunStage(const simt::ExecCtx& dev, const ResilienceOptions& opts,
                 const std::string& stage, const E* verify_input, size_t n,
                 size_t k, F&& fn, ExecutionReport* rep,
                 std::vector<E>* items) {
@@ -183,7 +183,7 @@ Status RunStage(simt::Device& dev, const ResilienceOptions& opts,
 /// Retries a plain transfer (no result to verify) under the same bounded
 /// backoff policy. `stage` labels the attempt records.
 template <typename F>
-Status RunTransfer(simt::Device& dev, const ResilienceOptions& opts,
+Status RunTransfer(const simt::ExecCtx& dev, const ResilienceOptions& opts,
                    const std::string& stage, F&& fn, ExecutionReport* rep) {
   int retries = 0;
   while (true) {
@@ -215,7 +215,7 @@ Status RunTransfer(simt::Device& dev, const ResilienceOptions& opts,
 /// retrying within a stage and falling back across stages. No chunked/CPU
 /// degrade here — callers layer those on.
 template <typename E>
-Status RunGpuStages(simt::Device& dev, simt::DeviceBuffer<E>& data, size_t n,
+Status RunGpuStages(const simt::ExecCtx& dev, simt::DeviceBuffer<E>& data, size_t n,
                     size_t k, const ResilienceOptions& opts,
                     ExecutionReport* rep, std::vector<E>* items) {
   cost::Workload w;
@@ -225,6 +225,7 @@ Status RunGpuStages(simt::Device& dev, simt::DeviceBuffer<E>& data, size_t n,
   w.key_size =
       sizeof(typename KeyTraits<typename ElementTraits<E>::Key>::Unsigned);
   w.dist = opts.hint;
+  w.concurrent_streams = dev.concurrency_hint();
   auto plan = PlanTopK(dev.spec(), w, opts.include_extensions);
   if (!plan.ok()) {
     rep->attempts.push_back(
@@ -257,7 +258,7 @@ Status RunGpuStages(simt::Device& dev, simt::DeviceBuffer<E>& data, size_t n,
 
 /// The final CPU stage over host-resident input.
 template <typename E>
-Status RunCpuStage(simt::Device& dev, const E* data, size_t n, size_t k,
+Status RunCpuStage(const simt::ExecCtx& dev, const E* data, size_t n, size_t k,
                    const ResilienceOptions& opts, ExecutionReport* rep,
                    std::vector<E>* items) {
   Status st = RunStage<E>(
@@ -279,7 +280,7 @@ Status RunCpuStage(simt::Device& dev, const E* data, size_t n, size_t k,
 
 template <typename E>
 StatusOr<ResilientResult<E>> ResilientTopKDevice(
-    simt::Device& dev, simt::DeviceBuffer<E>& data, size_t n, size_t k,
+    const simt::ExecCtx& dev, simt::DeviceBuffer<E>& data, size_t n, size_t k,
     const ResilienceOptions& opts) {
   if (k == 0 || k > n) {
     return Status::InvalidArgument("ResilientTopKDevice: require 1 <= k <= n");
@@ -312,7 +313,7 @@ StatusOr<ResilientResult<E>> ResilientTopKDevice(
 }
 
 template <typename E>
-StatusOr<ResilientResult<E>> ResilientTopK(simt::Device& dev, const E* data,
+StatusOr<ResilientResult<E>> ResilientTopK(const simt::ExecCtx& dev, const E* data,
                                            size_t n, size_t k,
                                            const ResilienceOptions& opts) {
   if (k == 0 || k > n) {
@@ -398,10 +399,10 @@ StatusOr<ResilientResult<E>> ResilientTopK(simt::Device& dev, const E* data,
 
 #define MPTOPK_INSTANTIATE_RESILIENT(E)                          \
   template StatusOr<ResilientResult<E>> ResilientTopKDevice<E>(  \
-      simt::Device&, simt::DeviceBuffer<E>&, size_t, size_t,     \
+      const simt::ExecCtx&, simt::DeviceBuffer<E>&, size_t, size_t,     \
       const ResilienceOptions&);                                 \
   template StatusOr<ResilientResult<E>> ResilientTopK<E>(        \
-      simt::Device&, const E*, size_t, size_t, const ResilienceOptions&);
+      const simt::ExecCtx&, const E*, size_t, size_t, const ResilienceOptions&);
 
 MPTOPK_INSTANTIATE_RESILIENT(float)
 MPTOPK_INSTANTIATE_RESILIENT(double)

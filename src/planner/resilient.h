@@ -101,14 +101,14 @@ struct ResilientResult {
 /// readback. (No chunked degrade: the data already fits on the device.)
 template <typename E>
 StatusOr<ResilientResult<E>> ResilientTopKDevice(
-    simt::Device& dev, simt::DeviceBuffer<E>& data, size_t n, size_t k,
+    const simt::ExecCtx& dev, simt::DeviceBuffer<E>& data, size_t n, size_t k,
     const ResilienceOptions& opts = {});
 
 /// Resilient top-k over host data: stages the input (with retry), walks the
 /// GPU chain, degrades to gpu::ChunkedTopK when the input does not fit (or
 /// exhausts device memory everywhere), and finally runs on the CPU.
 template <typename E>
-StatusOr<ResilientResult<E>> ResilientTopK(simt::Device& dev, const E* data,
+StatusOr<ResilientResult<E>> ResilientTopK(const simt::ExecCtx& dev, const E* data,
                                            size_t n, size_t k,
                                            const ResilienceOptions& opts = {});
 

@@ -8,6 +8,22 @@
 //   auto stats = dev.Launch({grid, block}, [&](simt::Block& blk) { ... });
 //   double ms = stats->time.total_ms;              // simulated kernel time
 //
+// Memory is pooled: freed DeviceBuffers return their (256-byte rounded)
+// blocks to a per-size free list, so a long batch of queries reuses
+// addresses instead of growing the footprint. `allocated_bytes()` tracks
+// live requested bytes, `peak_allocated_bytes()` the high-water mark,
+// `footprint_bytes()` the bump-pointer extent. `set_pooling(false)` turns
+// Release into a no-op (the pre-pooling no-reuse baseline, where a batch
+// monotonically accumulates until ResourceExhausted).
+//
+// Streams: work issued through Device::LaunchOnStream / the stream-taking
+// copy overloads advances only that stream's simulated clock, so
+// independent streams overlap; concurrent kernels that oversubscribe the
+// device are slowed by the committed-interval contention model in
+// timing_model.h. `total_sim_ms()` stays the busy sum across all streams
+// (the legacy serialized metric); `makespan_ms()` is the wall-clock of the
+// overlapped schedule. Legacy entry points run on the default stream.
+//
 // Tracing: by default every block is traced (exact metrics). For large
 // inputs, `set_trace_sample_target(t)` traces ~t evenly spaced blocks per
 // launch and extrapolates — valid because all kernels in this library have
@@ -16,6 +32,7 @@
 #define MPTOPK_SIMT_DEVICE_H_
 
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +43,7 @@
 #include "simt/fault_injection.h"
 #include "simt/memory.h"
 #include "simt/metrics.h"
+#include "simt/stream.h"
 #include "simt/timing_model.h"
 #include "simt/trace.h"
 
@@ -46,19 +64,31 @@ struct KernelStats {
   KernelMetrics metrics;
   KernelTime time;
   KernelResources resources;
+  /// Stream placement of this launch on the simulated timeline.
+  int stream_id = 0;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
 };
 
 class Device {
  public:
   explicit Device(DeviceSpec spec = DeviceSpec::TitanXMaxwell())
-      : spec_(std::move(spec)) {}
+      : spec_(std::move(spec)), default_stream_(0, "default") {}
 
   const DeviceSpec& spec() const { return spec_; }
 
-  /// Allocates `n` elements of device global memory. Fails with
-  /// ResourceExhausted when the device capacity would be exceeded.
+  /// Allocates `n` elements of device global memory from the pooled
+  /// allocator (charged to the device-wide arena). Fails with
+  /// ResourceExhausted when live bytes would exceed device capacity.
   template <typename T>
   StatusOr<DeviceBuffer<T>> Alloc(size_t n) {
+    return AllocIn<T>(n, nullptr);
+  }
+
+  /// Allocates like Alloc but charges the given arena (per-query
+  /// accounting scope); nullptr means the device-wide arena.
+  template <typename T>
+  StatusOr<DeviceBuffer<T>> AllocIn(size_t n, MemoryArena* arena) {
     size_t bytes = n * sizeof(T);
     if (fault_plan_ != nullptr) {
       Status st = fault_plan_->OnAlloc(bytes);
@@ -71,34 +101,46 @@ class Device {
           std::to_string(spec_.global_mem_bytes - allocated_bytes_) +
           " available");
     }
+    uint64_t addr = AcquireBlock(RoundBlock(bytes));
     allocated_bytes_ += bytes;
-    uint64_t addr = next_addr_;
-    next_addr_ += (bytes + 255) & ~uint64_t{255};  // 256-byte aligned
-    return DeviceBuffer<T>(this, addr, n);
+    lifetime_alloc_bytes_ += bytes;
+    if (allocated_bytes_ > peak_allocated_bytes_) {
+      peak_allocated_bytes_ = allocated_bytes_;
+    }
+    if (arena == nullptr) arena = &device_arena_;
+    arena->OnAlloc(bytes);
+    return DeviceBuffer<T>(this, addr, n, arena);
   }
 
-  /// Host -> device staging; accumulates simulated PCIe transfer time.
-  /// Fails with kUnavailable (retryable) under an installed fault plan; no
-  /// data moves on failure.
+  /// Host -> device staging; accumulates simulated PCIe transfer time and
+  /// advances the target stream's clock. Fails with kUnavailable
+  /// (retryable) under an installed fault plan; no data moves on failure.
   template <typename T>
-  Status CopyToDevice(DeviceBuffer<T>& dst, const T* src, size_t n) {
+  Status CopyToDevice(Stream& stream, DeviceBuffer<T>& dst, const T* src,
+                      size_t n) {
     if (n == 0) return Status::OK();
     if (fault_plan_ != nullptr) {
       MPTOPK_RETURN_NOT_OK(
           fault_plan_->OnTransfer(n * sizeof(T), /*readback=*/false));
     }
     std::memcpy(dst.host_data(), src, n * sizeof(T));
-    pcie_ms_ += static_cast<double>(n * sizeof(T)) /
-                (spec_.pcie_bw_gbps * 1e9) * 1e3;
+    CommitTransfer(stream, n * sizeof(T));
     return Status::OK();
   }
 
-  /// Device -> host readback; accumulates simulated PCIe transfer time.
-  /// Fails with kUnavailable (retryable) under an installed fault plan; the
-  /// plan may also silently corrupt one bit of a "successful" readback
+  template <typename T>
+  Status CopyToDevice(DeviceBuffer<T>& dst, const T* src, size_t n) {
+    return CopyToDevice(default_stream_, dst, src, n);
+  }
+
+  /// Device -> host readback; accumulates simulated PCIe transfer time and
+  /// advances the source stream's clock. Fails with kUnavailable
+  /// (retryable) under an installed fault plan; the plan may also silently
+  /// corrupt one bit of a "successful" readback
   /// (FaultPlanConfig::corrupt_readback_index) to exercise verification.
   template <typename T>
-  Status CopyToHost(T* dst, const DeviceBuffer<T>& src, size_t n) {
+  Status CopyToHost(Stream& stream, T* dst, const DeviceBuffer<T>& src,
+                    size_t n) {
     if (n == 0) return Status::OK();
     if (fault_plan_ != nullptr) {
       MPTOPK_RETURN_NOT_OK(
@@ -108,17 +150,25 @@ class Device {
     if (fault_plan_ != nullptr) {
       fault_plan_->CorruptReadback(dst, n * sizeof(T));
     }
-    pcie_ms_ += static_cast<double>(n * sizeof(T)) /
-                (spec_.pcie_bw_gbps * 1e9) * 1e3;
+    CommitTransfer(stream, n * sizeof(T));
     return Status::OK();
   }
 
-  /// Launches `body(Block&)` over the grid, returning traced metrics and the
-  /// simulated kernel time. Validates block dimensions and shared-memory
-  /// usage (a kernel allocating more than shared_mem_per_block fails with
-  /// ResourceExhausted — e.g. per-thread top-k at k=512, paper Section 4.1).
+  template <typename T>
+  Status CopyToHost(T* dst, const DeviceBuffer<T>& src, size_t n) {
+    return CopyToHost(default_stream_, dst, src, n);
+  }
+
+  /// Launches `body(Block&)` over the grid on `stream`, returning traced
+  /// metrics and the simulated kernel time. Validates block dimensions and
+  /// shared-memory usage (a kernel allocating more than
+  /// shared_mem_per_block fails with ResourceExhausted — e.g. per-thread
+  /// top-k at k=512, paper Section 4.1). The kernel starts at the stream's
+  /// clock; if committed work on *other* streams overlaps it and the summed
+  /// device share exceeds 1, its bandwidth terms stretch accordingly.
   template <typename F>
-  StatusOr<KernelStats> Launch(const LaunchConfig& cfg, F&& body) {
+  StatusOr<KernelStats> LaunchOnStream(Stream& stream, const LaunchConfig& cfg,
+                                       F&& body) {
     if (fault_plan_ != nullptr) {
       Status st = fault_plan_->OnLaunch(cfg.name);
       if (!st.ok()) return st;
@@ -168,10 +218,53 @@ class Device {
                                       cfg.regs_per_thread, shared_used};
     stats.time = EstimateKernelTime(spec_, stats.resources, stats.metrics);
 
+    const double start = stream.now_ms();
+    // Contention only arises once extra streams exist; the common
+    // single-stream path skips the interval scan entirely.
+    if (!streams_.empty()) {
+      double factor =
+          ConcurrencyFactor(intervals_, stream.id(), start,
+                            stats.time.total_ms,
+                            stats.time.occupancy.sm_utilization);
+      stats.time = ApplyConcurrency(stats.time, factor);
+      intervals_.push_back(StreamInterval{stream.id(), start,
+                                          start + stats.time.total_ms,
+                                          stats.time.occupancy.sm_utilization});
+    }
+    stats.stream_id = stream.id();
+    stats.start_ms = start;
+    stats.end_ms = start + stats.time.total_ms;
+    stream.Advance(stats.time.total_ms);
+
     total_sim_ms_ += stats.time.total_ms;
     total_metrics_ += stats.metrics;
     kernel_log_.push_back(stats);
     return stats;
+  }
+
+  /// Legacy launch on the default stream.
+  template <typename F>
+  StatusOr<KernelStats> Launch(const LaunchConfig& cfg, F&& body) {
+    return LaunchOnStream(default_stream_, cfg, std::forward<F>(body));
+  }
+
+  /// Creates an additional stream (owned by the device; stable pointer).
+  /// The default stream has id 0; created streams get ids 1, 2, ...
+  Stream* CreateStream(std::string name = "stream") {
+    streams_.push_back(std::make_unique<Stream>(
+        static_cast<int>(streams_.size()) + 1, std::move(name)));
+    return streams_.back().get();
+  }
+  Stream& default_stream() { return default_stream_; }
+  /// Number of streams including the default stream.
+  int stream_count() const { return static_cast<int>(streams_.size()) + 1; }
+
+  /// Wall-clock of the overlapped schedule: the furthest point any stream's
+  /// clock has reached (compare with total_sim_ms(), the busy sum).
+  double makespan_ms() const {
+    double m = default_stream_.now_ms();
+    for (const auto& s : streams_) m = std::max(m, s->now_ms());
+    return m;
   }
 
   /// Trace every block (exact; default) when 0, else trace ~target blocks
@@ -186,35 +279,123 @@ class Device {
   }
   FaultPlan* fault_plan() const { return fault_plan_.get(); }
 
-  /// Charges extra simulated latency to this device (e.g. the resilient
-  /// executor's retry backoff) so end-to-end simulated time reflects it.
-  void AddSimulatedDelayMs(double ms) { total_sim_ms_ += ms; }
+  /// Charges extra simulated latency (e.g. the resilient executor's retry
+  /// backoff) to the given stream so end-to-end simulated time reflects it.
+  void AddSimulatedDelayMs(Stream& stream, double ms) {
+    total_sim_ms_ += ms;
+    stream.Advance(ms);
+  }
+  void AddSimulatedDelayMs(double ms) {
+    AddSimulatedDelayMs(default_stream_, ms);
+  }
 
-  /// Simulated kernel milliseconds accumulated since construction/reset.
+  /// Simulated kernel milliseconds accumulated since construction/reset —
+  /// the busy sum over all streams (serialized-equivalent time).
   double total_sim_ms() const { return total_sim_ms_; }
   /// Simulated PCIe staging milliseconds.
   double pcie_ms() const { return pcie_ms_; }
   const KernelMetrics& total_metrics() const { return total_metrics_; }
   const std::vector<KernelStats>& kernel_log() const { return kernel_log_; }
-  size_t allocated_bytes() const { return allocated_bytes_; }
 
-  /// Resets time/metrics accumulators (not allocations).
+  /// Live requested bytes (decremented when buffers die under pooling).
+  size_t allocated_bytes() const { return allocated_bytes_; }
+  /// High-water mark of allocated_bytes() since construction.
+  size_t peak_allocated_bytes() const { return peak_allocated_bytes_; }
+  /// Cumulative requested bytes over all allocations (never decremented).
+  size_t lifetime_alloc_bytes() const { return lifetime_alloc_bytes_; }
+  /// Extent of the bump pointer: address space ever carved out. Under
+  /// pooling this plateaus once the pool serves steady-state demand.
+  size_t footprint_bytes() const {
+    return static_cast<size_t>(next_addr_ - kBaseAddr);
+  }
+  /// Allocations served from the free list instead of fresh address space.
+  uint64_t pool_reuse_count() const { return pool_reuse_count_; }
+  /// Rounded bytes currently parked in the free list.
+  size_t pooled_free_bytes() const { return pooled_free_bytes_; }
+  /// Device-wide arena (allocations not charged to a caller arena).
+  const MemoryArena& device_arena() const { return device_arena_; }
+
+  /// Pooling is on by default. Disabling it makes Release a no-op — freed
+  /// bytes stay charged and addresses are never reused — which is the
+  /// pre-pooling no-reuse baseline used for memory comparisons. Toggle
+  /// before allocating; flipping mid-lifetime skews accounting.
+  void set_pooling(bool enabled) { pooling_enabled_ = enabled; }
+  bool pooling_enabled() const { return pooling_enabled_; }
+
+  /// Resets time/metrics accumulators and stream clocks (not allocations).
   void ResetAccounting() {
     total_sim_ms_ = 0;
     pcie_ms_ = 0;
     total_metrics_ = KernelMetrics{};
     kernel_log_.clear();
+    intervals_.clear();
+    default_stream_.Reset();
+    for (auto& s : streams_) s->Reset();
   }
 
-  // Internal: DeviceBuffer destruction returns capacity.
-  void ReleaseAllocation(size_t bytes) { allocated_bytes_ -= bytes; }
+  // Internal: DeviceBuffer destruction returns the block to the pool.
+  void ReleaseAllocation(size_t bytes, uint64_t addr, MemoryArena* arena) {
+    if (!pooling_enabled_) return;  // no-reuse baseline: bytes stay charged
+    allocated_bytes_ -= bytes;
+    if (arena != nullptr) arena->OnFree(bytes);
+    size_t rounded = RoundBlock(bytes);
+    if (rounded > 0) {
+      free_blocks_[rounded].push_back(addr);
+      pooled_free_bytes_ += rounded;
+    }
+  }
 
  private:
+  static constexpr uint64_t kBaseAddr = 4096;  // leave page 0 unmapped
+
+  static size_t RoundBlock(size_t bytes) {
+    return (bytes + 255) & ~size_t{255};  // 256-byte aligned blocks
+  }
+
+  uint64_t AcquireBlock(size_t rounded) {
+    if (rounded > 0) {
+      auto it = free_blocks_.find(rounded);
+      if (it != free_blocks_.end() && !it->second.empty()) {
+        uint64_t addr = it->second.back();
+        it->second.pop_back();
+        pooled_free_bytes_ -= rounded;
+        ++pool_reuse_count_;
+        return addr;
+      }
+    }
+    uint64_t addr = next_addr_;
+    next_addr_ += rounded;
+    return addr;
+  }
+
+  void CommitTransfer(Stream& stream, size_t bytes) {
+    double ms =
+        static_cast<double>(bytes) / (spec_.pcie_bw_gbps * 1e9) * 1e3;
+    pcie_ms_ += ms;
+    // Transfers occupy the stream's timeline but not device compute
+    // bandwidth; they commit no contention interval.
+    stream.Advance(ms);
+  }
+
   DeviceSpec spec_;
   std::shared_ptr<FaultPlan> fault_plan_;
+
+  bool pooling_enabled_ = true;
   size_t allocated_bytes_ = 0;
-  uint64_t next_addr_ = 4096;  // leave page 0 unmapped
+  size_t peak_allocated_bytes_ = 0;
+  size_t lifetime_alloc_bytes_ = 0;
+  size_t pooled_free_bytes_ = 0;
+  uint64_t pool_reuse_count_ = 0;
+  uint64_t next_addr_ = kBaseAddr;
+  /// Free blocks by rounded size (exact size-class reuse).
+  std::map<size_t, std::vector<uint64_t>> free_blocks_;
+  MemoryArena device_arena_{"device"};
+
   int trace_sample_target_ = 0;
+
+  Stream default_stream_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<StreamInterval> intervals_;
 
   double total_sim_ms_ = 0;
   double pcie_ms_ = 0;
@@ -225,13 +406,15 @@ class Device {
 // --- DeviceBuffer inline implementation -------------------------------------
 
 template <typename T>
-DeviceBuffer<T>::DeviceBuffer(Device* device, uint64_t device_addr, size_t n)
-    : device_(device), device_addr_(device_addr), storage_(n) {}
+DeviceBuffer<T>::DeviceBuffer(Device* device, uint64_t device_addr, size_t n,
+                              MemoryArena* arena)
+    : device_(device), device_addr_(device_addr), arena_(arena), storage_(n) {}
 
 template <typename T>
 DeviceBuffer<T>::~DeviceBuffer() {
   if (device_ != nullptr) {
-    device_->ReleaseAllocation(storage_.size() * sizeof(T));
+    device_->ReleaseAllocation(storage_.size() * sizeof(T), device_addr_,
+                               arena_);
   }
 }
 
@@ -239,13 +422,16 @@ template <typename T>
 DeviceBuffer<T>& DeviceBuffer<T>::operator=(DeviceBuffer&& o) noexcept {
   if (this != &o) {
     if (device_ != nullptr) {
-      device_->ReleaseAllocation(storage_.size() * sizeof(T));
+      device_->ReleaseAllocation(storage_.size() * sizeof(T), device_addr_,
+                                 arena_);
     }
     device_ = o.device_;
     device_addr_ = o.device_addr_;
+    arena_ = o.arena_;
     storage_ = std::move(o.storage_);
     o.device_ = nullptr;
     o.device_addr_ = 0;
+    o.arena_ = nullptr;
     o.storage_.clear();
   }
   return *this;

@@ -20,14 +20,17 @@
 namespace mptopk::simt {
 
 class Device;
+struct MemoryArena;
 
 /// An owning allocation in simulated device global memory. Movable,
-/// non-copyable; releases its device-capacity reservation on destruction.
+/// non-copyable; returns its block to the device pool (and credits its
+/// accounting arena) on destruction.
 template <typename T>
 class DeviceBuffer {
  public:
   DeviceBuffer() = default;
-  DeviceBuffer(Device* device, uint64_t device_addr, size_t n);
+  DeviceBuffer(Device* device, uint64_t device_addr, size_t n,
+               MemoryArena* arena = nullptr);
   ~DeviceBuffer();
 
   DeviceBuffer(DeviceBuffer&& o) noexcept { *this = std::move(o); }
@@ -47,6 +50,7 @@ class DeviceBuffer {
  private:
   Device* device_ = nullptr;
   uint64_t device_addr_ = 0;
+  MemoryArena* arena_ = nullptr;
   std::vector<T> storage_;
 };
 

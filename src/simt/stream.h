@@ -1,0 +1,86 @@
+// Streams, events and memory arenas: the execution-context primitives the
+// batched engine schedules on.
+//
+// A Stream is an ordered simulated timeline. Work submitted through an
+// ExecCtx bound to a stream advances that stream's clock only; independent
+// streams therefore overlap in simulated time, with the Device charging
+// bandwidth contention when concurrent kernels oversubscribe it (see
+// Device::LaunchOnStream). Events carry a ready-timestamp across streams:
+// `consumer.Wait(producer.Record())` serializes the consumer behind
+// everything the producer has issued so far.
+//
+// A MemoryArena is a passive accounting scope for pooled allocations: every
+// DeviceBuffer carved out of an ExecCtx charges its arena, giving per-query
+// live/peak byte counts even though all arenas share the device-wide pool.
+#ifndef MPTOPK_SIMT_STREAM_H_
+#define MPTOPK_SIMT_STREAM_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mptopk::simt {
+
+/// A point on a stream's timeline; produced by Stream::Record and consumed
+/// by Stream::Wait on another stream.
+struct Event {
+  double ready_ms = 0.0;
+  int stream_id = 0;
+};
+
+/// An ordered simulated timeline. Streams are created and owned by a Device
+/// (Device::CreateStream); stream 0 is the device's default stream, used by
+/// all legacy single-query entry points.
+class Stream {
+ public:
+  Stream(int id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Current position of this stream's clock (simulated ms).
+  double now_ms() const { return now_ms_; }
+
+  /// Captures the stream's current position as a cross-stream dependency.
+  Event Record() const { return Event{now_ms_, id_}; }
+
+  /// Blocks (in simulated time) until `e` is ready: subsequent work on this
+  /// stream starts no earlier than the event's timestamp.
+  void Wait(const Event& e) { now_ms_ = std::max(now_ms_, e.ready_ms); }
+
+  /// Advances the clock by `ms` (used by the device when committing work).
+  void Advance(double ms) { now_ms_ += ms; }
+
+  void Reset() { now_ms_ = 0.0; }
+
+ private:
+  int id_ = 0;
+  std::string name_;
+  double now_ms_ = 0.0;
+};
+
+/// Per-scope allocation accounting. Arenas do not own memory — the device's
+/// pooled allocator does — they only observe the allocations charged to
+/// them, so a batch executor can report each query's live/peak footprint.
+struct MemoryArena {
+  std::string name;
+  size_t live_bytes = 0;
+  size_t peak_bytes = 0;
+  uint64_t alloc_count = 0;
+
+  explicit MemoryArena(std::string n = "arena") : name(std::move(n)) {}
+
+  void OnAlloc(size_t bytes) {
+    live_bytes += bytes;
+    peak_bytes = std::max(peak_bytes, live_bytes);
+    ++alloc_count;
+  }
+  void OnFree(size_t bytes) {
+    live_bytes -= std::min(live_bytes, bytes);
+  }
+};
+
+}  // namespace mptopk::simt
+
+#endif  // MPTOPK_SIMT_STREAM_H_

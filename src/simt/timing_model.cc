@@ -87,4 +87,32 @@ KernelTime EstimateKernelTime(const DeviceSpec& spec,
   return t;
 }
 
+double ConcurrencyFactor(const std::vector<StreamInterval>& committed,
+                         int stream_id, double start_ms, double duration_ms,
+                         double own_share) {
+  if (duration_ms <= 0.0 || own_share <= 0.0) return 1.0;
+  const double end_ms = start_ms + duration_ms;
+  // Duration-weighted average of foreign device share overlapping this
+  // kernel's window. Intervals on the same stream are serialized by the
+  // stream clock and never overlap by construction.
+  double foreign = 0.0;
+  for (const StreamInterval& iv : committed) {
+    if (iv.stream_id == stream_id || iv.device_share <= 0.0) continue;
+    double overlap = std::min(end_ms, iv.end_ms) - std::max(start_ms, iv.start_ms);
+    if (overlap > 0.0) foreign += iv.device_share * (overlap / duration_ms);
+  }
+  return std::max(1.0, own_share + foreign);
+}
+
+KernelTime ApplyConcurrency(const KernelTime& t, double factor) {
+  if (factor <= 1.0) return t;
+  KernelTime out = t;
+  out.global_ms *= factor;
+  out.shared_ms *= factor;
+  out.atomic_ms *= factor;
+  out.total_ms = std::max({out.global_ms, out.shared_ms, out.atomic_ms}) +
+                 out.dependent_ms + out.overhead_ms;
+  return out;
+}
+
 }  // namespace mptopk::simt

@@ -13,8 +13,18 @@
 //    grows.
 //  * Grid underutilization: a grid smaller than the SM count leaves SMs idle
 //    and scales achievable shared-memory bandwidth accordingly.
+//
+// Concurrent streams (PR 2): kernels on different streams may overlap in
+// simulated time. Each committed kernel occupies a StreamInterval with a
+// device share (its SM utilization); a new kernel overlapping foreign
+// intervals whose summed share exceeds the device is slowed by the
+// oversubscription factor (ConcurrencyFactor / ApplyConcurrency). Low-share
+// kernels overlap for free; two full-device kernels take as long together
+// as they would back-to-back — the model conserves total work.
 #ifndef MPTOPK_SIMT_TIMING_MODEL_H_
 #define MPTOPK_SIMT_TIMING_MODEL_H_
+
+#include <vector>
 
 #include "simt/device_spec.h"
 #include "simt/metrics.h"
@@ -62,6 +72,28 @@ struct KernelTime {
 KernelTime EstimateKernelTime(const DeviceSpec& spec,
                               const KernelResources& res,
                               const KernelMetrics& metrics);
+
+/// A committed span of device occupancy on one stream's timeline.
+struct StreamInterval {
+  int stream_id = 0;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  /// Fraction of the device this work occupies (its kernel's
+  /// sm_utilization); transfers and delays commit with share 0.
+  double device_share = 0.0;
+};
+
+/// Slowdown for a kernel of share `own_share` running on `stream_id` over
+/// [start_ms, start_ms + duration_ms), given previously committed intervals.
+/// Returns max(1, own_share + overlap-weighted foreign share): 1.0 while the
+/// device is undersubscribed, the oversubscription ratio otherwise.
+double ConcurrencyFactor(const std::vector<StreamInterval>& committed,
+                         int stream_id, double start_ms, double duration_ms,
+                         double own_share);
+
+/// Stretches the bandwidth-bound portion of `t` by `factor`, leaving launch
+/// overhead and dependent-chain latency unscaled (they are not bandwidth).
+KernelTime ApplyConcurrency(const KernelTime& t, double factor);
 
 }  // namespace mptopk::simt
 

@@ -1,0 +1,182 @@
+// Stream / ExecCtx semantics: independent small kernels on separate streams
+// overlap (device makespan = max of the stream clocks, not their sum),
+// event-dependent kernels serialize, contention stretches oversubscribed
+// bandwidth-bound work, and the pooling allocator reuses freed blocks
+// instead of growing the bump-pointer footprint.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simt/device.h"
+#include "simt/exec_ctx.h"
+#include "simt/memory.h"
+#include "simt/stream.h"
+
+namespace mptopk::simt {
+namespace {
+
+Device MakeDevice() { return Device(DeviceSpec::TitanXMaxwell()); }
+
+// A small kernel (4 blocks on a 24-SM device) that doubles `n` ints, so two
+// instances on different streams fit on the device side by side.
+Status LaunchDouble(const ExecCtx& ctx, DeviceBuffer<int>& in,
+                    DeviceBuffer<int>& out, int n) {
+  GlobalSpan<int> gin(in), gout(out);
+  const int block_dim = 128;
+  const int grid_dim = (n + block_dim - 1) / block_dim;
+  return ctx
+      .Launch({.grid_dim = grid_dim, .block_dim = block_dim,
+               .name = "double"},
+              [&](Block& blk) {
+                blk.ForEachThread([&](Thread& t) {
+                  size_t i = static_cast<size_t>(blk.block_idx()) *
+                                 blk.block_dim() +
+                             t.tid;
+                  if (i < static_cast<size_t>(n)) {
+                    gout.Write(t, i, gin.Read(t, i) * 2);
+                  }
+                });
+              })
+      .status();
+}
+
+struct StreamPair {
+  Device dev = MakeDevice();
+  Stream* s1 = dev.CreateStream("s1");
+  Stream* s2 = dev.CreateStream("s2");
+  ExecCtx c1{dev, s1, nullptr};
+  ExecCtx c2{dev, s2, nullptr};
+};
+
+TEST(StreamOverlapTest, IndependentKernelsOverlap) {
+  StreamPair sp;
+  const int n = 512;
+  auto a_in = sp.dev.Alloc<int>(n).value();
+  auto a_out = sp.dev.Alloc<int>(n).value();
+  auto b_in = sp.dev.Alloc<int>(n).value();
+  auto b_out = sp.dev.Alloc<int>(n).value();
+  std::iota(a_in.host_data(), a_in.host_data() + n, 0);
+  std::iota(b_in.host_data(), b_in.host_data() + n, 1000);
+
+  ASSERT_TRUE(LaunchDouble(sp.c1, a_in, a_out, n).ok());
+  ASSERT_TRUE(LaunchDouble(sp.c2, b_in, b_out, n).ok());
+
+  // Both kernels are functionally correct.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(a_out.host_data()[i], 2 * i);
+    EXPECT_EQ(b_out.host_data()[i], 2 * (1000 + i));
+  }
+  // Each stream's clock advanced; both started at t=0 (4 blocks each on a
+  // 24-SM device -> no contention), so the makespan is the max, not the sum.
+  EXPECT_GT(sp.s1->now_ms(), 0.0);
+  EXPECT_GT(sp.s2->now_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(sp.dev.makespan_ms(),
+                   std::max(sp.s1->now_ms(), sp.s2->now_ms()));
+  // total_sim_ms keeps the legacy serialized semantics (busy sum).
+  EXPECT_NEAR(sp.dev.total_sim_ms(), sp.s1->now_ms() + sp.s2->now_ms(), 1e-9);
+  EXPECT_LT(sp.dev.makespan_ms(), sp.dev.total_sim_ms());
+}
+
+TEST(StreamOverlapTest, EventDependentKernelsSerialize) {
+  StreamPair sp;
+  const int n = 512;
+  auto in = sp.dev.Alloc<int>(n).value();
+  auto mid = sp.dev.Alloc<int>(n).value();
+  auto out = sp.dev.Alloc<int>(n).value();
+  std::iota(in.host_data(), in.host_data() + n, 0);
+
+  ASSERT_TRUE(LaunchDouble(sp.c1, in, mid, n).ok());
+  const double producer_done = sp.s1->now_ms();
+  // Consumer on s2 waits on the producer's event before launching.
+  sp.c2.WaitEvent(sp.c1.RecordEvent());
+  EXPECT_DOUBLE_EQ(sp.s2->now_ms(), producer_done);
+  ASSERT_TRUE(LaunchDouble(sp.c2, mid, out, n).ok());
+
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(out.host_data()[i], 4 * i);
+  }
+  // The dependent kernel started at the producer's finish time, so the
+  // makespan is the serialized sum of the two kernels.
+  EXPECT_GT(sp.s2->now_ms(), producer_done);
+  EXPECT_DOUBLE_EQ(sp.dev.makespan_ms(), sp.s2->now_ms());
+  EXPECT_NEAR(sp.dev.makespan_ms(), sp.dev.total_sim_ms(), 1e-9);
+}
+
+TEST(StreamOverlapTest, OversubscribedKernelsStretch) {
+  // Two full-device kernels issued concurrently: each claims every SM, so
+  // the contention model must stretch the later one's bandwidth terms and
+  // the makespan cannot beat the uncontended serialized time.
+  StreamPair sp;
+  const int n = 24 * 1024;
+  auto a_in = sp.dev.Alloc<int>(n).value();
+  auto a_out = sp.dev.Alloc<int>(n).value();
+  auto b_in = sp.dev.Alloc<int>(n).value();
+  auto b_out = sp.dev.Alloc<int>(n).value();
+  std::iota(a_in.host_data(), a_in.host_data() + n, 0);
+  std::iota(b_in.host_data(), b_in.host_data() + n, 0);
+
+  ASSERT_TRUE(LaunchDouble(sp.c1, a_in, a_out, n).ok());
+  const double serial_one = sp.s1->now_ms();
+  ASSERT_TRUE(LaunchDouble(sp.c2, b_in, b_out, n).ok());
+  // The second kernel overlaps a committed full-device interval, so it runs
+  // slower than the same kernel on an idle device.
+  EXPECT_GT(sp.s2->now_ms(), serial_one);
+}
+
+TEST(PoolingAllocatorTest, FreedBlocksAreReused) {
+  Device dev = MakeDevice();
+  ASSERT_TRUE(dev.pooling_enabled());
+  const size_t before = dev.footprint_bytes();
+  { auto a = dev.Alloc<float>(1024).value(); }
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  EXPECT_GT(dev.pooled_free_bytes(), 0u);
+  const size_t after_first = dev.footprint_bytes();
+  EXPECT_GT(after_first, before);
+  // Same-size realloc comes from the free list: footprint stays flat.
+  { auto b = dev.Alloc<float>(1024).value(); }
+  EXPECT_EQ(dev.footprint_bytes(), after_first);
+  EXPECT_EQ(dev.pool_reuse_count(), 1u);
+}
+
+TEST(PoolingAllocatorTest, NoPoolBaselineNeverReclaims) {
+  Device dev = MakeDevice();
+  dev.set_pooling(false);
+  { auto a = dev.Alloc<float>(1024).value(); }
+  // Without pooling nothing is reclaimed: bytes stay charged (the no-reuse
+  // baseline used for the batching comparison in results/batching.txt).
+  EXPECT_EQ(dev.allocated_bytes(), 4096u);
+  { auto b = dev.Alloc<float>(1024).value(); }
+  EXPECT_EQ(dev.allocated_bytes(), 8192u);
+  EXPECT_EQ(dev.pool_reuse_count(), 0u);
+  EXPECT_EQ(dev.peak_allocated_bytes(), 8192u);
+}
+
+TEST(ArenaTest, PerQueryArenaTracksPeak) {
+  Device dev = MakeDevice();
+  MemoryArena arena{"q0"};
+  ExecCtx ctx(dev, nullptr, &arena);
+  {
+    auto a = ctx.Alloc<float>(1024).value();
+    auto b = ctx.Alloc<float>(1024).value();
+    EXPECT_EQ(arena.live_bytes, 2 * 4096u);
+  }
+  EXPECT_EQ(arena.live_bytes, 0u);
+  EXPECT_EQ(arena.peak_bytes, 2 * 4096u);
+  EXPECT_EQ(arena.alloc_count, 2u);
+}
+
+TEST(ExecCtxTest, ImplicitDeviceConversionUsesDefaultStream) {
+  Device dev = MakeDevice();
+  ExecCtx ctx = dev;  // the compatibility path for pre-stream call sites
+  EXPECT_EQ(&ctx.device(), &dev);
+  EXPECT_EQ(ctx.stream().id(), 0);
+  const int n = 256;
+  auto in = ctx.Alloc<int>(n).value();
+  auto out = ctx.Alloc<int>(n).value();
+  std::iota(in.host_data(), in.host_data() + n, 0);
+  ASSERT_TRUE(LaunchDouble(ctx, in, out, n).ok());
+  EXPECT_EQ(out.host_data()[7], 14);
+}
+
+}  // namespace
+}  // namespace mptopk::simt
