@@ -47,7 +47,7 @@ int Main(int argc, char** argv) {
            {gpu::Algorithm::kSort, gpu::Algorithm::kPerThread,
             gpu::Algorithm::kRadixSelect, gpu::Algorithm::kBucketSelect,
             gpu::Algorithm::kBitonic}) {
-        row.push_back(MsCell(RunGpu(a, data, k, ts)));
+        row.push_back(MsCell(RunGpu(a, data, k, ts, flags.GetBool("racecheck"))));
       }
       table.AddRow(std::move(row));
     }

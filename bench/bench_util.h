@@ -31,17 +31,28 @@ inline void DefineCommonFlags(Flags* flags, const char* default_n_log2) {
   flags->Define("trace_sample", "32",
                 "blocks traced per kernel launch (0 = all, exact)");
   flags->Define("seed", "42", "data generator seed");
+  flags->Define("racecheck", "false",
+                "launch kernels under the barrier-epoch race checker "
+                "(hazards go to stderr; timings are unchanged). The "
+                "MPTOPK_RACECHECK env var enables it for every bench.");
 }
 
 /// Runs one GPU algorithm on host data, returning simulated kernel ms
 /// (NaN when the algorithm cannot run at this configuration, e.g.
 /// per-thread top-k beyond its shared-memory limit -- rendered as '-').
+/// With racecheck on, hazard summaries print to stderr (timings do not
+/// change; the checker is analysis-only).
 template <typename E>
 double RunGpu(gpu::Algorithm algo, const std::vector<E>& data, size_t k,
-              int trace_sample) {
+              int trace_sample, bool racecheck = false) {
   simt::Device dev;
   dev.set_trace_sample_target(trace_sample);
+  dev.set_racecheck(racecheck || dev.racecheck());
   auto r = gpu::TopK(dev, data.data(), data.size(), k, algo);
+  if (dev.racecheck() && !dev.race_report().clean()) {
+    std::fprintf(stderr, "%s: %s\n", gpu::AlgorithmName(algo),
+                 dev.race_report().Summary().c_str());
+  }
   if (!r.ok()) return kNaN;
   return r->kernel_ms;
 }

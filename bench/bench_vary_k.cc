@@ -15,7 +15,8 @@ namespace mptopk::bench {
 namespace {
 
 template <typename E>
-void Run(const std::vector<E>& data, bool csv, int trace_sample) {
+void Run(const std::vector<E>& data, bool csv, int trace_sample,
+         bool racecheck) {
   TablePrinter table({"k", "Sort", "PerThread", "RadixSelect", "BucketSelect",
                       "BitonicTopK", "MemBandwidth"});
   const double floor_ms = BandwidthFloorMs(data.size() * sizeof(E));
@@ -25,7 +26,7 @@ void Run(const std::vector<E>& data, bool csv, int trace_sample) {
          {gpu::Algorithm::kSort, gpu::Algorithm::kPerThread,
           gpu::Algorithm::kRadixSelect, gpu::Algorithm::kBucketSelect,
           gpu::Algorithm::kBitonic}) {
-      row.push_back(MsCell(RunGpu(a, data, k, trace_sample)));
+      row.push_back(MsCell(RunGpu(a, data, k, trace_sample, racecheck)));
     }
     row.push_back(MsCell(floor_ms));
     table.AddRow(std::move(row));
@@ -44,17 +45,18 @@ int Main(int argc, char** argv) {
   const int ts = static_cast<int>(flags.GetInt("trace_sample"));
   const uint64_t seed = flags.GetInt("seed");
   const std::string dtype = flags.GetString("dtype");
+  const bool rc = flags.GetBool("racecheck");
 
   std::printf("# Figure 11%s: top-k vs k, n=2^%lld %s keys, uniform "
               "(simulated ms)\n",
               dtype == "f32" ? "a" : (dtype == "u32" ? "b" : "c"),
               static_cast<long long>(flags.GetInt("n_log2")), dtype.c_str());
   if (dtype == "f32") {
-    Run(GenerateFloats(n, Distribution::kUniform, seed), csv, ts);
+    Run(GenerateFloats(n, Distribution::kUniform, seed), csv, ts, rc);
   } else if (dtype == "u32") {
-    Run(GenerateU32(n, Distribution::kUniform, seed), csv, ts);
+    Run(GenerateU32(n, Distribution::kUniform, seed), csv, ts, rc);
   } else if (dtype == "f64") {
-    Run(GenerateDoubles(n, Distribution::kUniform, seed), csv, ts);
+    Run(GenerateDoubles(n, Distribution::kUniform, seed), csv, ts, rc);
   } else {
     std::fprintf(stderr, "unknown --dtype %s\n", dtype.c_str());
     return 1;

@@ -19,6 +19,7 @@ int Main(int argc, char** argv) {
   if (!BenchInit(flags, argc, argv, &exit_code)) return exit_code;
   const int ts = static_cast<int>(flags.GetInt("trace_sample"));
   const size_t k = flags.GetInt("k");
+  const bool rc = flags.GetBool("racecheck");
 
   std::printf("# Figure 13: top-%zu vs data size, uniform floats "
               "(simulated ms)\n", k);
@@ -33,7 +34,7 @@ int Main(int argc, char** argv) {
          {gpu::Algorithm::kSort, gpu::Algorithm::kPerThread,
           gpu::Algorithm::kRadixSelect, gpu::Algorithm::kBucketSelect,
           gpu::Algorithm::kBitonic}) {
-      row.push_back(MsCell(RunGpu(a, data, k, ts)));
+      row.push_back(MsCell(RunGpu(a, data, k, ts, rc)));
     }
     table.AddRow(std::move(row));
   }

@@ -25,6 +25,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <limits>
 #include <type_traits>
 
 namespace mptopk {
@@ -84,7 +85,13 @@ struct KeyTraits<float> {
     uint32_t bits = (u & 0x80000000u) ? (u & 0x7FFFFFFFu) : ~u;
     return std::bit_cast<float>(bits);
   }
-  static constexpr float Lowest() { return -3.402823466e+38f; }
+  /// The least key under this total order. Must be -Inf, not -FLT_MAX:
+  /// sentinel padding compares against real input, and an input containing
+  /// -Inf would rank below a -FLT_MAX sentinel, letting the sentinel leak
+  /// into top-k results.
+  static constexpr float Lowest() {
+    return -std::numeric_limits<float>::infinity();
+  }
 };
 
 template <>
@@ -101,7 +108,9 @@ struct KeyTraits<double> {
         (u & 0x8000000000000000ull) ? (u & 0x7FFFFFFFFFFFFFFFull) : ~u;
     return std::bit_cast<double>(bits);
   }
-  static constexpr double Lowest() { return -1.7976931348623157e+308; }
+  static constexpr double Lowest() {
+    return -std::numeric_limits<double>::infinity();
+  }
 };
 
 /// Total-order comparison through the ordered bit pattern. For integer keys

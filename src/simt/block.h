@@ -83,8 +83,12 @@ class Block {
 
   /// Block-wide barrier (`__syncthreads`). Execution is already sequential;
   /// this re-aligns warp sequence counters so accesses in different epochs
-  /// never coalesce into one warp instruction.
-  void Sync() { AlignWarpSequences(); }
+  /// never coalesce into one warp instruction, and advances the tracer's
+  /// barrier epoch (the happens-before boundary simt::RaceChecker uses).
+  void Sync() {
+    AlignWarpSequences();
+    if (tracer_ != nullptr) tracer_->AdvanceEpoch();
+  }
 
   /// Thread-local scratch modeling registers: a per-thread array of `n` T
   /// elements, NOT traced (register file accesses are free in the memory

@@ -43,6 +43,7 @@
 #include "simt/fault_injection.h"
 #include "simt/memory.h"
 #include "simt/metrics.h"
+#include "simt/racecheck.h"
 #include "simt/stream.h"
 #include "simt/timing_model.h"
 #include "simt/trace.h"
@@ -68,12 +69,17 @@ struct KernelStats {
   int stream_id = 0;
   double start_ms = 0.0;
   double end_ms = 0.0;
+  /// Hazards this launch's traced blocks produced under the race checker
+  /// (empty unless Device racecheck is enabled; see simt/racecheck.h).
+  RaceReport race;
 };
 
 class Device {
  public:
   explicit Device(DeviceSpec spec = DeviceSpec::TitanXMaxwell())
-      : spec_(std::move(spec)), default_stream_(0, "default") {}
+      : spec_(std::move(spec)),
+        racecheck_(spec_.racecheck || RacecheckEnvEnabled()),
+        default_stream_(0, "default") {}
 
   const DeviceSpec& spec() const { return spec_; }
 
@@ -205,8 +211,14 @@ class Device {
             std::to_string(shared_used) + " B exceeds device limit " +
             std::to_string(spec_.shared_mem_per_block) + " B");
       }
-      if (traced) tracer.Analyze(&stats.metrics);
+      if (traced) {
+        tracer.Analyze(&stats.metrics);
+        if (racecheck_) {
+          RaceChecker::CheckBlock(tracer, spec_, stats.name, b, &stats.race);
+        }
+      }
     }
+    race_report_.Merge(stats.race);
     stats.metrics.blocks_launched = cfg.grid_dim;
     if (stats.metrics.blocks_traced > 0 &&
         stats.metrics.blocks_traced < static_cast<uint64_t>(cfg.grid_dim)) {
@@ -270,6 +282,17 @@ class Device {
   /// Trace every block (exact; default) when 0, else trace ~target blocks
   /// per launch and extrapolate.
   void set_trace_sample_target(int target) { trace_sample_target_ = target; }
+
+  /// Toggles the barrier-epoch race checker for subsequent launches (see
+  /// simt/racecheck.h). Initialized from DeviceSpec::racecheck or the
+  /// MPTOPK_RACECHECK environment variable. Only traced blocks are checked,
+  /// so under trace sampling raise set_trace_sample_target for coverage.
+  void set_racecheck(bool on) { racecheck_ = on; }
+  bool racecheck() const { return racecheck_; }
+  /// Hazards accumulated across every checked launch since construction /
+  /// ClearRaceReport (per-launch reports are on KernelStats::race).
+  const RaceReport& race_report() const { return race_report_; }
+  void ClearRaceReport() { race_report_ = RaceReport{}; }
 
   /// Installs (or clears, with nullptr) a deterministic fault plan consulted
   /// by Alloc / CopyToDevice / CopyToHost / Launch. The device shares
@@ -392,6 +415,8 @@ class Device {
   MemoryArena device_arena_{"device"};
 
   int trace_sample_target_ = 0;
+  bool racecheck_ = false;
+  RaceReport race_report_;
 
   Stream default_stream_;
   std::vector<std::unique_ptr<Stream>> streams_;

@@ -62,6 +62,13 @@ struct DeviceSpec {
   /// Cost of one global atomic in nanoseconds (L2 round trip).
   double global_atomic_ns = 2.0;
 
+  // --- Debug tooling -------------------------------------------------------
+  /// Launch every kernel under the barrier-epoch race checker
+  /// (simt/racecheck.h). Also enabled at runtime by Device::set_racecheck or
+  /// the MPTOPK_RACECHECK environment variable. Purely diagnostic: simulated
+  /// timings are identical either way.
+  bool racecheck = false;
+
   /// The configuration used throughout the paper's evaluation.
   static DeviceSpec TitanXMaxwell() { return DeviceSpec{}; }
 

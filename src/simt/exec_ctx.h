@@ -83,6 +83,10 @@ class ExecCtx {
   size_t allocated_bytes() const { return dev_->allocated_bytes(); }
   FaultPlan* fault_plan() const { return dev_->fault_plan(); }
 
+  /// Barrier-epoch race checker state (device-wide; see simt/racecheck.h).
+  bool racecheck() const { return dev_->racecheck(); }
+  const RaceReport& race_report() const { return dev_->race_report(); }
+
  private:
   Device* dev_;
   Stream* stream_;

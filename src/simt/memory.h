@@ -98,7 +98,8 @@ class GlobalSpan {
     assert(i < size_);
     if (t.tracer != nullptr) {
       t.tracer->RecordGlobal(t.tid, t.global_seq++,
-                             device_addr_ + i * sizeof(T), sizeof(T), true);
+                             device_addr_ + i * sizeof(T), sizeof(T), true,
+                             /*atomic=*/true);
     }
     T old = data_[i];
     data_[i] = old + v;
@@ -109,7 +110,8 @@ class GlobalSpan {
     assert(i < size_);
     if (t.tracer != nullptr) {
       t.tracer->RecordGlobal(t.tid, t.global_seq++,
-                             device_addr_ + i * sizeof(T), sizeof(T), true);
+                             device_addr_ + i * sizeof(T), sizeof(T), true,
+                             /*atomic=*/true);
     }
     T old = data_[i];
     if (v > old) data_[i] = v;
@@ -122,7 +124,8 @@ class GlobalSpan {
     assert(i < size_);
     if (t.tracer != nullptr) {
       t.tracer->RecordGlobal(t.tid, t.global_seq++,
-                             device_addr_ + i * sizeof(T), sizeof(T), true);
+                             device_addr_ + i * sizeof(T), sizeof(T), true,
+                             /*atomic=*/true);
     }
     T old = data_[i];
     if (old == expected) data_[i] = desired;
@@ -133,7 +136,8 @@ class GlobalSpan {
     assert(i < size_);
     if (t.tracer != nullptr) {
       t.tracer->RecordGlobal(t.tid, t.global_seq++,
-                             device_addr_ + i * sizeof(T), sizeof(T), true);
+                             device_addr_ + i * sizeof(T), sizeof(T), true,
+                             /*atomic=*/true);
     }
     T old = data_[i];
     if (v < old) data_[i] = v;
@@ -157,6 +161,13 @@ class SharedSpan {
       : data_(data), base_offset_(base_offset), size_(size) {}
 
   size_t size() const { return size_; }
+  /// Offset of element 0 within the block's shared arena — what the bank
+  /// analyzer maps to banks. Stays the pre-overflow bump-pointer offset even
+  /// when the allocation was served from the overflow buffer.
+  uint64_t base_offset() const { return base_offset_; }
+  /// Untraced backing pointer — host-side inspection only (tests, dumps).
+  /// In-kernel accesses must go through Read/Write so they are traced.
+  T* data() const { return data_; }
 
   T Read(Thread& t, size_t i) const {
     assert(i < size_);

@@ -21,20 +21,21 @@ void BlockTracer::Reset(int block_dim) {
   }
   for (auto& v : global_) v.clear();
   for (auto& v : shared_) v.clear();
+  epoch_ = 0;
   local_bytes_ = 0;
   dependent_cycles_ = 0;
 }
 
 void BlockTracer::RecordGlobal(int tid, uint32_t seq, uint64_t addr,
-                               uint32_t size, bool write) {
+                               uint32_t size, bool write, bool atomic) {
   global_[tid].push_back(
-      Access{addr, seq, static_cast<uint16_t>(size), write, false});
+      Access{addr, seq, epoch_, static_cast<uint16_t>(size), write, atomic});
 }
 
 void BlockTracer::RecordShared(int tid, uint32_t seq, uint64_t addr,
                                uint32_t size, bool write, bool atomic) {
   shared_[tid].push_back(
-      Access{addr, seq, static_cast<uint16_t>(size), write, atomic});
+      Access{addr, seq, epoch_, static_cast<uint16_t>(size), write, atomic});
 }
 
 void BlockTracer::AnalyzeGlobalWarp(const std::vector<Access>* lanes,

@@ -19,6 +19,11 @@
 // Sequence numbers are re-aligned across a warp at every barrier and region
 // boundary so that divergent regions (e.g. data-dependent heap updates) cost
 // extra warp instructions exactly as SIMT hardware serializes them.
+//
+// Every access also carries the block's barrier epoch — the number of
+// Block::Sync() barriers executed before it. Epochs do not affect the
+// timing analysis; they exist for simt::RaceChecker, which flags
+// conflicting same-epoch accesses by different threads (racecheck.h).
 #ifndef MPTOPK_SIMT_TRACE_H_
 #define MPTOPK_SIMT_TRACE_H_
 
@@ -32,13 +37,25 @@ namespace mptopk::simt {
 
 class BlockTracer {
  public:
+  /// One traced memory access. `epoch` counts Block::Sync() barriers executed
+  /// before the access; `atomic` marks read-modify-write operations (both are
+  /// ignored by the timing analysis and consumed by simt::RaceChecker).
+  struct Access {
+    uint64_t addr;
+    uint32_t seq;
+    uint32_t epoch;
+    uint16_t size;
+    bool write;
+    bool atomic;
+  };
+
   BlockTracer(const DeviceSpec& spec, int block_dim);
 
-  /// Clears all recorded accesses (block reuse).
+  /// Clears all recorded accesses (block reuse) and resets the barrier epoch.
   void Reset(int block_dim);
 
   void RecordGlobal(int tid, uint32_t seq, uint64_t addr, uint32_t size,
-                    bool write);
+                    bool write, bool atomic = false);
   void RecordShared(int tid, uint32_t seq, uint64_t addr, uint32_t size,
                     bool write, bool atomic);
   /// Register-spill traffic to thread-local memory (no warp analysis; billed
@@ -50,18 +67,23 @@ class BlockTracer {
   /// as exposed latency divided by resident warps.
   void RecordDependentCycles(uint64_t cycles) { dependent_cycles_ += cycles; }
 
+  /// Advances the barrier epoch (called by Block::Sync on traced blocks).
+  void AdvanceEpoch() { ++epoch_; }
+  uint32_t epoch() const { return epoch_; }
+
   /// Analyzes all recorded accesses of this block and accumulates into *m.
   void Analyze(KernelMetrics* m) const;
 
- private:
-  struct Access {
-    uint64_t addr;
-    uint32_t seq;
-    uint16_t size;
-    bool write;
-    bool atomic;
-  };
+  // Raw per-thread access streams, indexed by tid (for RaceChecker).
+  int block_dim() const { return block_dim_; }
+  const std::vector<std::vector<Access>>& global_accesses() const {
+    return global_;
+  }
+  const std::vector<std::vector<Access>>& shared_accesses() const {
+    return shared_;
+  }
 
+ private:
   void AnalyzeGlobalWarp(const std::vector<Access>* lanes, int num_lanes,
                          KernelMetrics* m) const;
   void AnalyzeSharedWarp(const std::vector<Access>* lanes, int num_lanes,
@@ -72,6 +94,7 @@ class BlockTracer {
   // Indexed by tid; accesses are in strictly increasing seq order per thread.
   std::vector<std::vector<Access>> global_;
   std::vector<std::vector<Access>> shared_;
+  uint32_t epoch_ = 0;
   uint64_t local_bytes_ = 0;
   uint64_t dependent_cycles_ = 0;
 };

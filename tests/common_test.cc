@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <random>
 
 #include "common/bits.h"
@@ -134,6 +135,14 @@ TEST(KeyTransformTest, RandomFloatsRoundTrip) {
 TEST(KeyTransformTest, LowestIsMinimal) {
   EXPECT_LE(KeyTraits<float>::ToOrderedBits(KeyTraits<float>::Lowest()),
             KeyTraits<float>::ToOrderedBits(-1e37f));
+  // The sentinel must not outrank ANY non-NaN input — including -Inf
+  // (a -FLT_MAX sentinel leaked into top-k results for -Inf inputs).
+  EXPECT_LE(KeyTraits<float>::ToOrderedBits(KeyTraits<float>::Lowest()),
+            KeyTraits<float>::ToOrderedBits(
+                -std::numeric_limits<float>::infinity()));
+  EXPECT_LE(KeyTraits<double>::ToOrderedBits(KeyTraits<double>::Lowest()),
+            KeyTraits<double>::ToOrderedBits(
+                -std::numeric_limits<double>::infinity()));
   EXPECT_EQ(KeyTraits<uint32_t>::Lowest(), 0u);
 }
 

@@ -1,0 +1,275 @@
+// Property-based differential campaign: a seeded generator sweeps
+// n x k x distribution (uniform / zipf / all-equal / sorted / reverse-sorted
+// / NaN-Inf mix) across every GPU algorithm, the sampling hybrid, the
+// chunked executor and the CPU backends. Each run is checked against a
+// std::partial_sort-style host oracle under the library's one true ordering
+// (ordered bits, NaN-safe) and all backends are cross-checked pairwise.
+// Every failure message carries the reproducing case seed.
+//
+// The campaign runs >= 200 cases per algorithm in Release; under
+// MPTOPK_RACECHECK=1 (the CI racecheck legs) sizes and case counts are
+// capped so the checker's per-block analysis stays within budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/distributions.h"
+#include "common/key_transform.h"
+#include "cputopk/cpu_topk.h"
+#include "gputopk/chunked.h"
+#include "gputopk/topk.h"
+#include "simt/device.h"
+#include "simt/racecheck.h"
+
+namespace mptopk {
+namespace {
+
+using gpu::Algorithm;
+using gpu::AlgorithmName;
+using cpu::CpuAlgorithm;
+using cpu::CpuAlgorithmName;
+
+enum class Dist {
+  kUniform,
+  kZipf,
+  kAllEqual,
+  kSorted,
+  kReverseSorted,
+  kNanInfMix,
+};
+constexpr Dist kAllDists[] = {Dist::kUniform,  Dist::kZipf,
+                              Dist::kAllEqual, Dist::kSorted,
+                              Dist::kReverseSorted, Dist::kNanInfMix};
+
+const char* DistName(Dist d) {
+  switch (d) {
+    case Dist::kUniform: return "uniform";
+    case Dist::kZipf: return "zipf";
+    case Dist::kAllEqual: return "all-equal";
+    case Dist::kSorted: return "sorted";
+    case Dist::kReverseSorted: return "reverse-sorted";
+    case Dist::kNanInfMix: return "nan-inf-mix";
+  }
+  return "?";
+}
+
+std::vector<float> Generate(Dist d, size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> uni(-1000.0f, 1000.0f);
+  std::vector<float> v(n);
+  switch (d) {
+    case Dist::kUniform:
+      for (auto& x : v) x = uni(rng);
+      break;
+    case Dist::kZipf: {
+      // Zipf-ish heavy tail: value ~ 1/rank^1.07, ranks shuffled.
+      for (size_t i = 0; i < n; ++i) {
+        v[i] = 1e6f / std::pow(static_cast<float>(i + 1), 1.07f);
+      }
+      std::shuffle(v.begin(), v.end(), rng);
+      break;
+    }
+    case Dist::kAllEqual:
+      std::fill(v.begin(), v.end(), uni(rng));
+      break;
+    case Dist::kSorted:
+      for (auto& x : v) x = uni(rng);
+      std::sort(v.begin(), v.end());
+      break;
+    case Dist::kReverseSorted:
+      for (auto& x : v) x = uni(rng);
+      std::sort(v.begin(), v.end(), std::greater<float>());
+      break;
+    case Dist::kNanInfMix: {
+      std::uniform_int_distribution<int> coin(0, 9);
+      const float inf = std::numeric_limits<float>::infinity();
+      const float nan = std::numeric_limits<float>::quiet_NaN();
+      for (auto& x : v) {
+        switch (coin(rng)) {
+          case 0: x = nan; break;
+          case 1: x = inf; break;
+          case 2: x = -inf; break;
+          case 3: x = -0.0f; break;
+          case 4: x = std::numeric_limits<float>::denorm_min(); break;
+          default: x = uni(rng); break;
+        }
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+// The one true ordering: descending by ordered bits (every NaN maps to the
+// greatest key — common/key_transform.h).
+std::vector<uint32_t> OracleBits(const std::vector<float>& data, size_t k) {
+  std::vector<uint32_t> bits(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    bits[i] = KeyTraits<float>::ToOrderedBits(data[i]);
+  }
+  const size_t kk = std::min(k, bits.size());
+  std::partial_sort(bits.begin(), bits.begin() + kk, bits.end(),
+                    std::greater<uint32_t>());
+  bits.resize(kk);
+  return bits;
+}
+
+std::vector<uint32_t> ToBits(const std::vector<float>& items) {
+  std::vector<uint32_t> bits;
+  bits.reserve(items.size());
+  for (float v : items) bits.push_back(KeyTraits<float>::ToOrderedBits(v));
+  // Ties may be ordered arbitrarily across backends at the boundary of
+  // equal keys; the multiset of ordered bits is the invariant.
+  std::sort(bits.begin(), bits.end(), std::greater<uint32_t>());
+  return bits;
+}
+
+struct Case {
+  uint64_t seed;
+  size_t n;
+  size_t k;
+  Dist dist;
+
+  std::string Label() const {
+    return "case seed=" + std::to_string(seed) + " n=" + std::to_string(n) +
+           " k=" + std::to_string(k) + " dist=" + DistName(dist);
+  }
+};
+
+TEST(PropertyDifferential, Campaign) {
+  // Under the racecheck CI legs every Device launches with the checker on;
+  // cap the campaign so per-block pair analysis stays cheap.
+  const bool capped = simt::RacecheckEnvEnabled();
+  const int cases = capped ? 48 : 240;
+  const std::vector<size_t> n_choices =
+      capped ? std::vector<size_t>{33, 257, 1024, 4096}
+             : std::vector<size_t>{33, 257, 1024, 4096, 16384};
+  const std::vector<size_t> k_choices = {1, 2, 8, 17, 32, 64, 100, 256};
+
+  constexpr Algorithm kGpuAlgos[] = {
+      Algorithm::kSort, Algorithm::kPerThread, Algorithm::kRadixSelect,
+      Algorithm::kBucketSelect, Algorithm::kBitonic};
+  constexpr CpuAlgorithm kCpuAlgos[] = {CpuAlgorithm::kStlPq,
+                                        CpuAlgorithm::kHandPq};
+
+  std::map<std::string, int> runs;
+  std::mt19937_64 meta(20260807);
+  for (int c = 0; c < cases; ++c) {
+    Case tc;
+    tc.seed = meta();
+    std::mt19937_64 pick(tc.seed);
+    tc.n = n_choices[pick() % n_choices.size()];
+    tc.k = std::min(k_choices[pick() % k_choices.size()], tc.n);
+    tc.dist = kAllDists[c % std::size(kAllDists)];
+
+    const auto data = Generate(tc.dist, tc.n, tc.seed);
+    const auto oracle = OracleBits(data, tc.k);
+
+    // (backend name, result bits) for the pairwise cross-check.
+    std::vector<std::pair<std::string, std::vector<uint32_t>>> results;
+
+    for (Algorithm algo : kGpuAlgos) {
+      simt::Device dev;
+      dev.set_trace_sample_target(4);
+      auto r = gpu::TopK(dev, data.data(), data.size(), tc.k, algo);
+      if (!r.ok()) {
+        // Per-thread top-k may exhaust shared memory at large k; every
+        // other failure is a bug.
+        ASSERT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+            << tc.Label() << " algo=" << AlgorithmName(algo) << ": "
+            << r.status().ToString();
+        continue;
+      }
+      ASSERT_EQ(r->items.size(), tc.k)
+          << tc.Label() << " algo=" << AlgorithmName(algo);
+      results.emplace_back(AlgorithmName(algo), ToBits(r->items));
+      ++runs[AlgorithmName(algo)];
+    }
+    {
+      // The sampling hybrid and the CPU bitonic network require
+      // power-of-two k: run them at bit_floor(k) against their own oracle
+      // (and each other), and join the pairwise pool when bit_floor(k) == k.
+      const size_t k2 = std::bit_floor(tc.k);
+      const auto oracle2 = (k2 == tc.k) ? oracle : OracleBits(data, k2);
+
+      simt::Device dev;
+      dev.set_trace_sample_target(4);
+      auto h = gpu::TopK(dev, data.data(), data.size(), k2,
+                         Algorithm::kHybrid);
+      ASSERT_TRUE(h.ok()) << tc.Label() << " algo=hybrid k2=" << k2 << ": "
+                          << h.status().ToString();
+      ASSERT_EQ(h->items.size(), k2) << tc.Label() << " algo=hybrid";
+      const auto hbits = ToBits(h->items);
+      ASSERT_EQ(hbits, oracle2)
+          << tc.Label() << ": hybrid (k2=" << k2
+          << ") disagrees with the partial_sort oracle";
+      ++runs["hybrid"];
+
+      auto cb = cpu::CpuTopK(data.data(), data.size(), k2,
+                             CpuAlgorithm::kBitonic);
+      ASSERT_TRUE(cb.ok()) << tc.Label() << " algo=cpu:bitonic k2=" << k2
+                           << ": " << cb.status().ToString();
+      const auto cbits = ToBits(cb->items);
+      ASSERT_EQ(cbits, oracle2)
+          << tc.Label() << ": cpu:bitonic (k2=" << k2
+          << ") disagrees with the partial_sort oracle";
+      ASSERT_EQ(hbits, cbits)
+          << tc.Label() << ": hybrid vs cpu:bitonic pairwise mismatch at k2="
+          << k2;
+      ++runs["cpu:bitonic"];
+
+      if (k2 == tc.k) {
+        results.emplace_back("hybrid", hbits);
+        results.emplace_back("cpu:bitonic", cbits);
+      }
+    }
+    {
+      simt::Device dev;
+      dev.set_trace_sample_target(4);
+      const size_t chunk = std::max<size_t>(tc.k, tc.n / 3 + 1);
+      auto r = gpu::ChunkedTopK(dev, data.data(), data.size(), tc.k, chunk);
+      ASSERT_TRUE(r.ok()) << tc.Label()
+                          << " algo=chunked: " << r.status().ToString();
+      ASSERT_EQ(r->items.size(), tc.k) << tc.Label() << " algo=chunked";
+      results.emplace_back("chunked", ToBits(r->items));
+      ++runs["chunked"];
+    }
+    for (CpuAlgorithm algo : kCpuAlgos) {
+      auto r = cpu::CpuTopK(data.data(), data.size(), tc.k, algo);
+      ASSERT_TRUE(r.ok()) << tc.Label() << " algo=" << CpuAlgorithmName(algo)
+                          << ": " << r.status().ToString();
+      results.emplace_back(std::string("cpu:") + CpuAlgorithmName(algo),
+                           ToBits(r->items));
+      ++runs[std::string("cpu:") + CpuAlgorithmName(algo)];
+    }
+
+    for (const auto& [name, bits] : results) {
+      ASSERT_EQ(bits, oracle) << tc.Label() << ": " << name
+                              << " disagrees with the partial_sort oracle";
+    }
+    for (size_t i = 1; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].second, results[i - 1].second)
+          << tc.Label() << ": " << results[i].first << " vs "
+          << results[i - 1].first << " pairwise mismatch";
+    }
+  }
+
+  // The acceptance bar: at least 200 executed cases per algorithm (the
+  // capped racecheck legs run a smaller, still-exhaustive sweep).
+  const int floor_runs = capped ? 40 : 200;
+  for (const auto& [name, count] : runs) {
+    EXPECT_GE(count, floor_runs) << name << " ran too few cases";
+  }
+  EXPECT_EQ(runs.size(), 10u);  // 6 GPU + chunked + 3 CPU backends
+}
+
+}  // namespace
+}  // namespace mptopk

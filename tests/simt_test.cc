@@ -99,6 +99,42 @@ TEST(LaunchTest, SharedOverAllocationFails) {
   EXPECT_EQ(st.status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST(LaunchTest, AllocSharedAlignsTo16Bytes) {
+  Device dev = MakeDevice();
+  auto st = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    auto a = blk.AllocShared<char>(3);
+    auto b = blk.AllocShared<float>(5);   // starts at the next 16B boundary
+    auto c = blk.AllocShared<double>(1);  // 20B of floats -> boundary at 48
+    EXPECT_EQ(a.base_offset(), 0u);
+    EXPECT_EQ(b.base_offset(), 16u);
+    EXPECT_EQ(c.base_offset(), 48u);
+    EXPECT_EQ(blk.shared_bytes_used(), 56u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % 16, 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(c.data()) % 16, 0u);
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST(LaunchTest, AllocSharedOverflowStaysAlignedAndSafe) {
+  // An over-allocation must fail the launch with kResourceExhausted, but the
+  // span handed back has to stay writable and 16-byte aligned so the rest of
+  // the block body runs safely until the launcher checks the budget.
+  Device dev = MakeDevice();
+  const size_t huge = DeviceSpec::TitanXMaxwell().shared_mem_per_block / 4 + 8;
+  auto st = dev.Launch({.grid_dim = 1, .block_dim = 32}, [&](Block& blk) {
+    blk.AllocShared<char>(1);  // push the next offset off zero
+    auto big = blk.AllocShared<float>(huge);
+    EXPECT_EQ(big.base_offset(), 16u);
+    EXPECT_EQ(blk.shared_bytes_used(), 16u + huge * 4);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(big.data()) % 16, 0u);
+    big.data()[0] = 1.0f;  // memory-safe despite exceeding the arena
+    big.data()[huge - 1] = 2.0f;
+    EXPECT_EQ(big.data()[huge - 1], 2.0f);
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.status().code(), StatusCode::kResourceExhausted);
+}
+
 TEST(LaunchTest, BlockDimValidated) {
   Device dev = MakeDevice();
   auto st = dev.Launch({.grid_dim = 1, .block_dim = 2048}, [](Block&) {});
