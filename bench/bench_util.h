@@ -18,6 +18,7 @@
 #include "common/flags.h"
 #include "common/table_printer.h"
 #include "gputopk/topk.h"
+#include "simt/workers.h"
 
 namespace mptopk::bench {
 
@@ -35,6 +36,10 @@ inline void DefineCommonFlags(Flags* flags, const char* default_n_log2) {
                 "launch kernels under the barrier-epoch race checker "
                 "(hazards go to stderr; timings are unchanged). The "
                 "MPTOPK_RACECHECK env var enables it for every bench.");
+  flags->Define("workers", "0",
+                "host worker threads per kernel launch (0 = auto: "
+                "MPTOPK_WORKERS env or min(hardware_concurrency, 8)). "
+                "Host speed only; simulated times are identical.");
 }
 
 /// Runs one GPU algorithm on host data, returning simulated kernel ms
@@ -84,6 +89,11 @@ inline bool BenchInit(Flags& flags, int argc, char** argv, int* exit_code) {
     flags.PrintHelp(argv[0]);
     *exit_code = 0;
     return false;
+  }
+  // --workers (when the binary defines it; GetInt is 0 otherwise) becomes
+  // the process-wide default so every Device the bench constructs uses it.
+  if (int w = static_cast<int>(flags.GetInt("workers")); w > 0) {
+    simt::SetHostWorkersOverride(w);
   }
   return true;
 }

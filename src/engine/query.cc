@@ -329,7 +329,7 @@ Status LaunchFusedFilterTopK(const simt::ExecCtx& dev, const CompiledQuery& q,
         }
         blk.ForEachThread([&](Thread& t) {
           if (t.tid == 0 && matched_total > 0) {
-            counters.AtomicAdd(t, 1, matched_total);
+            counters.ReduceAdd(t, 1, matched_total);
           }
         });
       });
@@ -377,7 +377,7 @@ Status LaunchHashBuild(const simt::ExecCtx& dev, GlobalSpan<int32_t> group_col,
             while (true) {
               uint32_t cur = keys.AtomicCas(t, slot, kEmptySlot, key);
               if (cur == kEmptySlot || cur == key) {
-                counts.AtomicAdd(t, slot, 1u);
+                counts.ReduceAdd(t, slot, 1u);
                 break;
               }
               slot = (slot + 1) & mask;

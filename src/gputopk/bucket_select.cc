@@ -87,8 +87,8 @@ Status LaunchMinMax(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
         }
         blk.ForEachThread([&](Thread& t) {
           if (t.tid == 0) {
-            minmax.AtomicMin(t, 0, mn.Read(t, 0));
-            minmax.AtomicMax(t, 1, mx.Read(t, 0));
+            minmax.ReduceMin(t, 0, mn.Read(t, 0));
+            minmax.ReduceMax(t, 1, mx.Read(t, 0));
           }
         });
       });
@@ -152,7 +152,7 @@ Status LaunchBucketHistogram(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t 
         blk.ForEachThread([&](Thread& t) {
           if (t.tid < kBuckets) {
             uint32_t c = counts.Read(t, t.tid);
-            if (c != 0) hist.AtomicAdd(t, t.tid, c);
+            if (c != 0) hist.ReduceAdd(t, t.tid, c);
           }
         });
       });

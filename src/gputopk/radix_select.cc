@@ -80,7 +80,7 @@ Status LaunchMsdHistogram(const simt::ExecCtx& dev, GlobalSpan<E> in, size_t n,
         blk.ForEachThread([&](Thread& t) {
           for (int b = t.tid; b < kRadix; b += kBlockDim) {
             uint32_t c = counts.Read(t, b);
-            if (c != 0) hist.AtomicAdd(t, b, c);
+            if (c != 0) hist.ReduceAdd(t, b, c);
           }
         });
       });

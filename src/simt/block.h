@@ -67,7 +67,7 @@ class Block {
     for (int t = 0; t < block_dim_; ++t) {
       fn(threads_[t]);
     }
-    AlignWarpSequences();
+    if (tracer_ != nullptr) AlignWarpSequences();
   }
 
   /// Runs `fn(Thread&)` for the first `count` threads only (used by the
@@ -78,7 +78,7 @@ class Block {
     for (int t = 0; t < count; ++t) {
       fn(threads_[t]);
     }
-    AlignWarpSequences();
+    if (tracer_ != nullptr) AlignWarpSequences();
   }
 
   /// Block-wide barrier (`__syncthreads`). Execution is already sequential;
@@ -86,8 +86,10 @@ class Block {
   /// never coalesce into one warp instruction, and advances the tracer's
   /// barrier epoch (the happens-before boundary simt::RaceChecker uses).
   void Sync() {
-    AlignWarpSequences();
-    if (tracer_ != nullptr) tracer_->AdvanceEpoch();
+    if (tracer_ != nullptr) {
+      AlignWarpSequences();
+      tracer_->AdvanceEpoch();
+    }
   }
 
   /// Thread-local scratch modeling registers: a per-thread array of `n` T
@@ -115,8 +117,11 @@ class Block {
   // --- Launcher interface ---------------------------------------------------
 
   /// Re-targets this context at block `block_idx`, tracing into `tracer`
-  /// (may be null). Resets shared/scratch arenas and thread state.
-  void ResetFor(int block_idx, BlockTracer* tracer) {
+  /// (may be null). Under a parallel launch `order` carries the launch's
+  /// block-completion turnstile (null on the sequential path). Resets
+  /// shared/scratch arenas and thread state.
+  void ResetFor(int block_idx, BlockTracer* tracer,
+                LaunchOrder* order = nullptr) {
     block_idx_ = block_idx;
     tracer_ = tracer;
     shared_used_ = 0;
@@ -129,6 +134,8 @@ class Block {
       threads_[t].tracer = tracer;
       threads_[t].global_seq = 0;
       threads_[t].shared_seq = 0;
+      threads_[t].order = order;
+      threads_[t].block_idx = block_idx;
     }
   }
 

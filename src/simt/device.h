@@ -31,10 +31,13 @@
 #ifndef MPTOPK_SIMT_DEVICE_H_
 #define MPTOPK_SIMT_DEVICE_H_
 
+#include <algorithm>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -47,6 +50,7 @@
 #include "simt/stream.h"
 #include "simt/timing_model.h"
 #include "simt/trace.h"
+#include "simt/workers.h"
 
 namespace mptopk::simt {
 
@@ -79,6 +83,8 @@ class Device {
   explicit Device(DeviceSpec spec = DeviceSpec::TitanXMaxwell())
       : spec_(std::move(spec)),
         racecheck_(spec_.racecheck || RacecheckEnvEnabled()),
+        host_workers_(spec_.host_workers > 0 ? spec_.host_workers
+                                             : DefaultHostWorkers()),
         default_stream_(0, "default") {}
 
   const DeviceSpec& spec() const { return spec_; }
@@ -188,34 +194,112 @@ class Device {
           std::to_string(spec_.max_threads_per_block));
     }
 
-    Block block(spec_, cfg.grid_dim, cfg.block_dim);
-    BlockTracer tracer(spec_, cfg.block_dim);
-
+    // Ceil-division guarantees at most trace_sample_target_ traced blocks
+    // (floor division traced up to 2*target - 1).
     int stride = 1;
     if (trace_sample_target_ > 0 && cfg.grid_dim > trace_sample_target_) {
-      stride = cfg.grid_dim / trace_sample_target_;
+      stride = (cfg.grid_dim + trace_sample_target_ - 1) /
+               trace_sample_target_;
     }
 
     KernelStats stats;
     stats.name = cfg.name;
     size_t shared_used = 0;
-    for (int b = 0; b < cfg.grid_dim; ++b) {
-      bool traced = (b % stride) == 0;
-      if (traced) tracer.Reset(cfg.block_dim);
-      block.ResetFor(b, traced ? &tracer : nullptr);
-      body(block);
-      shared_used = std::max(shared_used, block.shared_bytes_used());
+    const int workers = std::min(host_workers_, cfg.grid_dim);
+    if (workers <= 1) {
+      // Sequential path: the exact legacy loop (workers=1 contract).
+      Block block(spec_, cfg.grid_dim, cfg.block_dim);
+      BlockTracer tracer(spec_, cfg.block_dim);
+      for (int b = 0; b < cfg.grid_dim; ++b) {
+        bool traced = (b % stride) == 0;
+        if (traced) tracer.Reset(cfg.block_dim);
+        block.ResetFor(b, traced ? &tracer : nullptr);
+        body(block);
+        shared_used = std::max(shared_used, block.shared_bytes_used());
+        if (shared_used > spec_.shared_mem_per_block) {
+          return Status::ResourceExhausted(
+              std::string(cfg.name) + ": block shared memory " +
+              std::to_string(shared_used) + " B exceeds device limit " +
+              std::to_string(spec_.shared_mem_per_block) + " B");
+        }
+        if (traced) {
+          tracer.Analyze(&stats.metrics);
+          if (racecheck_) {
+            RaceChecker::CheckBlock(tracer, spec_, stats.name, b, &stats.race);
+          }
+        }
+      }
+    } else {
+      // Parallel path: shard blocks round-robin over W workers, each with
+      // its own Block/BlockTracer and local accumulators; merge in block
+      // order after the join so every metric, race report and timing is
+      // bit-identical to the sequential loop (see simt/workers.h for the
+      // atomics/turnstile contract that makes the traces themselves
+      // worker-count-invariant).
+      struct WorkerCtx {
+        WorkerCtx(const DeviceSpec& spec, const LaunchConfig& cfg)
+            : block(spec, cfg.grid_dim, cfg.block_dim),
+              tracer(spec, cfg.block_dim) {}
+        Block block;
+        BlockTracer tracer;
+        KernelMetrics metrics;
+        size_t shared_used = 0;
+        std::vector<std::pair<int, RaceReport>> race;  // per traced block
+      };
+      std::vector<std::unique_ptr<WorkerCtx>> ctx;
+      ctx.reserve(workers);
+      for (int w = 0; w < workers; ++w) {
+        ctx.push_back(std::make_unique<WorkerCtx>(spec_, cfg));
+      }
+      LaunchOrder order(cfg.grid_dim);
+      const std::function<void(int, int)> run = [&](int w, int b) {
+        WorkerCtx& cx = *ctx[w];
+        bool traced = (b % stride) == 0;
+        if (traced) cx.tracer.Reset(cfg.block_dim);
+        cx.block.ResetFor(b, traced ? &cx.tracer : nullptr, &order);
+        body(cx.block);
+        size_t used = cx.block.shared_bytes_used();
+        cx.shared_used = std::max(cx.shared_used, used);
+        if (traced && used <= spec_.shared_mem_per_block) {
+          cx.tracer.Analyze(&cx.metrics);
+          if (racecheck_) {
+            cx.race.emplace_back(b, RaceReport{});
+            RaceChecker::CheckBlock(cx.tracer, spec_, stats.name, b,
+                                    &cx.race.back().second);
+          }
+        }
+        order.MarkDone(b);
+      };
+      BlockWorkers::Instance().Run(workers, cfg.grid_dim, run);
+
+      for (const auto& c : ctx) {
+        shared_used = std::max(shared_used, c->shared_used);
+      }
       if (shared_used > spec_.shared_mem_per_block) {
+        // All kernels in this library allocate shared memory uniformly per
+        // block, so the peak equals the sequential loop's first-failure
+        // usage and the message matches the workers=1 path.
         return Status::ResourceExhausted(
             std::string(cfg.name) + ": block shared memory " +
             std::to_string(shared_used) + " B exceeds device limit " +
             std::to_string(spec_.shared_mem_per_block) + " B");
       }
-      if (traced) {
-        tracer.Analyze(&stats.metrics);
-        if (racecheck_) {
-          RaceChecker::CheckBlock(tracer, spec_, stats.name, b, &stats.race);
+      // Metric counters are all uint64 and Analyze only accumulates, so
+      // summing per-worker locals in any order reproduces the sequential
+      // totals exactly.
+      for (const auto& c : ctx) stats.metrics += c->metrics;
+      if (racecheck_) {
+        // Race reports cap recorded hazards, so merge order matters:
+        // restore block order across workers.
+        std::vector<std::pair<int, RaceReport>*> reports;
+        for (auto& c : ctx) {
+          for (auto& r : c->race) reports.push_back(&r);
         }
+        std::sort(reports.begin(), reports.end(),
+                  [](const auto* a, const auto* b) {
+                    return a->first < b->first;
+                  });
+        for (const auto* r : reports) stats.race.Merge(r->second);
       }
     }
     race_report_.Merge(stats.race);
@@ -279,9 +363,21 @@ class Device {
     return m;
   }
 
-  /// Trace every block (exact; default) when 0, else trace ~target blocks
-  /// per launch and extrapolate.
+  /// Trace every block (exact; default) when 0, else trace at most `target`
+  /// evenly spaced blocks per launch (ceil-division stride; block 0 is
+  /// always traced) and extrapolate the counters to the full grid.
   void set_trace_sample_target(int target) { trace_sample_target_ = target; }
+
+  /// Host worker threads used to execute launches (simulator host
+  /// performance only: simulated metrics and timings are bit-identical for
+  /// every count — pinned by tests/parallel_launch_test.cc). Initialized
+  /// from DeviceSpec::host_workers, falling back to the MPTOPK_WORKERS
+  /// environment variable / bench --workers override, then
+  /// min(hardware_concurrency, 8). 1 = the legacy sequential loop.
+  void set_host_workers(int workers) {
+    host_workers_ = workers < 1 ? 1 : workers;
+  }
+  int host_workers() const { return host_workers_; }
 
   /// Toggles the barrier-epoch race checker for subsequent launches (see
   /// simt/racecheck.h). Initialized from DeviceSpec::racecheck or the
@@ -416,6 +512,7 @@ class Device {
 
   int trace_sample_target_ = 0;
   bool racecheck_ = false;
+  int host_workers_ = 1;
   RaceReport race_report_;
 
   Stream default_stream_;

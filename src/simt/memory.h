@@ -9,13 +9,16 @@
 #ifndef MPTOPK_SIMT_MEMORY_H_
 #define MPTOPK_SIMT_MEMORY_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "simt/thread.h"
 #include "simt/trace.h"
+#include "simt/workers.h"
 
 namespace mptopk::simt {
 
@@ -92,14 +95,20 @@ class GlobalSpan {
     data_[i] = v;
   }
 
-  /// Atomic read-modify-write add; execution is sequential in the simulator,
-  /// so this is plain arithmetic plus accounting.
+  /// Atomic read-modify-write add, returning the old value (CUDA atomicAdd,
+  /// PTX `atom`). Under a parallel launch the return value is made
+  /// sequential-equivalent by the LaunchOrder turnstile: block b's call
+  /// waits until blocks 0..b-1 completed, so reserved offsets — and every
+  /// address/trace derived from them — match the workers=1 run exactly.
+  /// When the return value is not needed, use ReduceAdd, which stays fully
+  /// concurrent.
   T AtomicAdd(Thread& t, size_t i, T v) const {
     assert(i < size_);
-    if (t.tracer != nullptr) {
-      t.tracer->RecordGlobal(t.tid, t.global_seq++,
-                             device_addr_ + i * sizeof(T), sizeof(T), true,
-                             /*atomic=*/true);
+    Record(t, i);
+    if (t.order != nullptr) {
+      t.order->AwaitTurn(t.block_idx);
+      return std::atomic_ref<T>(data_[i]).fetch_add(
+          v, std::memory_order_relaxed);
     }
     T old = data_[i];
     data_[i] = old + v;
@@ -108,10 +117,15 @@ class GlobalSpan {
 
   T AtomicMax(Thread& t, size_t i, T v) const {
     assert(i < size_);
-    if (t.tracer != nullptr) {
-      t.tracer->RecordGlobal(t.tid, t.global_seq++,
-                             device_addr_ + i * sizeof(T), sizeof(T), true,
-                             /*atomic=*/true);
+    Record(t, i);
+    if (t.order != nullptr) {
+      t.order->AwaitTurn(t.block_idx);
+      std::atomic_ref<T> a(data_[i]);
+      T old = a.load(std::memory_order_relaxed);
+      while (v > old &&
+             !a.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+      }
+      return old;
     }
     T old = data_[i];
     if (v > old) data_[i] = v;
@@ -119,13 +133,16 @@ class GlobalSpan {
   }
 
   /// Atomic compare-and-swap; returns the old value (equal to `expected` on
-  /// success). Execution is sequential in the simulator.
+  /// success). Turnstiled under a parallel launch like AtomicAdd.
   T AtomicCas(Thread& t, size_t i, T expected, T desired) const {
     assert(i < size_);
-    if (t.tracer != nullptr) {
-      t.tracer->RecordGlobal(t.tid, t.global_seq++,
-                             device_addr_ + i * sizeof(T), sizeof(T), true,
-                             /*atomic=*/true);
+    Record(t, i);
+    if (t.order != nullptr) {
+      t.order->AwaitTurn(t.block_idx);
+      T old = expected;
+      std::atomic_ref<T>(data_[i]).compare_exchange_strong(
+          old, desired, std::memory_order_relaxed);
+      return old;
     }
     T old = data_[i];
     if (old == expected) data_[i] = desired;
@@ -134,17 +151,81 @@ class GlobalSpan {
 
   T AtomicMin(Thread& t, size_t i, T v) const {
     assert(i < size_);
-    if (t.tracer != nullptr) {
-      t.tracer->RecordGlobal(t.tid, t.global_seq++,
-                             device_addr_ + i * sizeof(T), sizeof(T), true,
-                             /*atomic=*/true);
+    Record(t, i);
+    if (t.order != nullptr) {
+      t.order->AwaitTurn(t.block_idx);
+      std::atomic_ref<T> a(data_[i]);
+      T old = a.load(std::memory_order_relaxed);
+      while (v < old &&
+             !a.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+      }
+      return old;
     }
     T old = data_[i];
     if (v < old) data_[i] = v;
     return old;
   }
 
+  /// Atomic add whose result is discarded (CUDA atomicAdd with unused
+  /// return, PTX `red`). No cross-block ordering: concurrent blocks update
+  /// freely and the final value is interleaving-independent, so the
+  /// location must only be read back after the launch completes (histogram
+  /// flushes, global counters). Integral T only — float addition would be
+  /// order-dependent. Traced identically to AtomicAdd (same access record,
+  /// hence bit-identical metrics).
+  void ReduceAdd(Thread& t, size_t i, T v) const {
+    static_assert(std::is_integral_v<T>,
+                  "ReduceAdd requires a commutative-exact (integral) type");
+    assert(i < size_);
+    Record(t, i);
+    if (t.order != nullptr) {
+      std::atomic_ref<T>(data_[i]).fetch_add(v, std::memory_order_relaxed);
+      return;
+    }
+    data_[i] += v;
+  }
+
+  /// Atomic max whose result is discarded; see ReduceAdd.
+  void ReduceMax(Thread& t, size_t i, T v) const {
+    assert(i < size_);
+    Record(t, i);
+    if (t.order != nullptr) {
+      std::atomic_ref<T> a(data_[i]);
+      T old = a.load(std::memory_order_relaxed);
+      while (v > old &&
+             !a.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+      }
+      return;
+    }
+    if (v > data_[i]) data_[i] = v;
+  }
+
+  /// Atomic min whose result is discarded; see ReduceAdd.
+  void ReduceMin(Thread& t, size_t i, T v) const {
+    assert(i < size_);
+    Record(t, i);
+    if (t.order != nullptr) {
+      std::atomic_ref<T> a(data_[i]);
+      T old = a.load(std::memory_order_relaxed);
+      while (v < old &&
+             !a.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+      }
+      return;
+    }
+    if (v < data_[i]) data_[i] = v;
+  }
+
  private:
+  /// The one trace record all six atomics share (write + atomic), so a
+  /// Reduce* migration cannot change metrics.
+  void Record(Thread& t, size_t i) const {
+    if (t.tracer != nullptr) {
+      t.tracer->RecordGlobal(t.tid, t.global_seq++,
+                             device_addr_ + i * sizeof(T), sizeof(T), true,
+                             /*atomic=*/true);
+    }
+  }
+
   T* data_ = nullptr;
   uint64_t device_addr_ = 0;
   size_t size_ = 0;

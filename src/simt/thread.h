@@ -7,6 +7,7 @@
 namespace mptopk::simt {
 
 class BlockTracer;
+class LaunchOrder;
 
 /// Identity and tracing state of one simulated GPU thread. Kernels receive a
 /// `Thread&` inside `Block::ForEachThread` and pass it to every traced memory
@@ -21,6 +22,12 @@ struct Thread {
   BlockTracer* tracer = nullptr;
   uint32_t global_seq = 0;
   uint32_t shared_seq = 0;
+
+  // Parallel-launch state (null on the sequential workers=1 path). Set, the
+  // global spans execute atomics as real RMWs, and value-returning ones
+  // turnstile on `order` for sequential-equivalent results (simt/workers.h).
+  LaunchOrder* order = nullptr;
+  int block_idx = 0;  ///< Block this thread currently belongs to.
 };
 
 }  // namespace mptopk::simt

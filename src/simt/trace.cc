@@ -19,8 +19,19 @@ void BlockTracer::Reset(int block_dim) {
     global_.resize(block_dim);
     shared_.resize(block_dim);
   }
-  for (auto& v : global_) v.clear();
-  for (auto& v : shared_) v.clear();
+  // Reserve from the previous block's high-water mark so freshly resized
+  // per-thread vectors skip the push_back growth ladder on the hot path
+  // (block-homogeneous kernels hit the mark exactly).
+  for (auto& v : global_) {
+    global_hwm_ = std::max(global_hwm_, v.size());
+    v.clear();
+    v.reserve(global_hwm_);
+  }
+  for (auto& v : shared_) {
+    shared_hwm_ = std::max(shared_hwm_, v.size());
+    v.clear();
+    v.reserve(shared_hwm_);
+  }
   epoch_ = 0;
   local_bytes_ = 0;
   dependent_cycles_ = 0;

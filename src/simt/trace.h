@@ -51,7 +51,9 @@ class BlockTracer {
 
   BlockTracer(const DeviceSpec& spec, int block_dim);
 
-  /// Clears all recorded accesses (block reuse) and resets the barrier epoch.
+  /// Clears all recorded accesses (block reuse) and resets the barrier
+  /// epoch. Access vectors are re-reserved from the high-water mark of
+  /// earlier blocks, so steady-state tracing never reallocates.
   void Reset(int block_dim);
 
   void RecordGlobal(int tid, uint32_t seq, uint64_t addr, uint32_t size,
@@ -97,6 +99,9 @@ class BlockTracer {
   uint32_t epoch_ = 0;
   uint64_t local_bytes_ = 0;
   uint64_t dependent_cycles_ = 0;
+  // Largest per-thread access counts seen so far (Reset reserves these).
+  size_t global_hwm_ = 0;
+  size_t shared_hwm_ = 0;
 };
 
 }  // namespace mptopk::simt
