@@ -6,6 +6,7 @@
 //   --sweep=B: Figure 8, varying elements-per-thread B in {8,16,32,64}
 //     (paper: 16 optimal; 32 no gain; 64 hurts via occupancy).
 #include "bench/bench_util.h"
+#include "gputopk/bitonic_topk.h"
 
 namespace mptopk::bench {
 namespace {

@@ -29,9 +29,9 @@ int Main(int argc, char** argv) {
     cost::Workload w{n, NextPowerOfTwo(k), 4, 4, Distribution::kUniform};
     t.AddRow({
         std::to_string(k),
-        MsCell(RunGpu(gpu::Algorithm::kBitonic, data, k, ts)),
+        MsCell(RunOp("BitonicTopK", data, k, ts)),
         MsCell(cost::BitonicTopKCostMs(spec, w)),
-        MsCell(RunGpu(gpu::Algorithm::kRadixSelect, data, k, ts)),
+        MsCell(RunOp("RadixSelect", data, k, ts)),
         MsCell(cost::RadixSelectCostMs(spec, w)),
     });
   }

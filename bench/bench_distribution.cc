@@ -39,15 +39,15 @@ int Main(int argc, char** argv) {
 
   auto run = [&](Distribution d, const char* label) {
     auto data = GenerateFloats(n, d, flags.GetInt("seed"));
-    TablePrinter table({"k", "Sort", "PerThread", "RadixSelect",
-                        "BucketSelect", "BitonicTopK"});
+    const auto sweep = topk::GpuSweepOperators();
+    std::vector<std::string> header{"k"};
+    for (const auto* op : sweep) header.push_back(op->display_name());
+    TablePrinter table(header);
     for (size_t k : PowersOfTwo(1, 1024)) {
       std::vector<std::string> row{std::to_string(k)};
-      for (gpu::Algorithm a :
-           {gpu::Algorithm::kSort, gpu::Algorithm::kPerThread,
-            gpu::Algorithm::kRadixSelect, gpu::Algorithm::kBucketSelect,
-            gpu::Algorithm::kBitonic}) {
-        row.push_back(MsCell(RunGpu(a, data, k, ts, flags.GetBool("racecheck"))));
+      for (const auto* op : sweep) {
+        row.push_back(
+            MsCell(RunOp(*op, data, k, ts, flags.GetBool("racecheck"))));
       }
       table.AddRow(std::move(row));
     }

@@ -31,12 +31,9 @@ int Main(int argc, char** argv) {
     TablePrinter t({"k", "Hybrid", "BitonicTopK", "RadixSelect"});
     for (size_t k : PowersOfTwo(8, 1024)) {
       t.AddRow({std::to_string(k),
-                MsCell(RunGpu(gpu::Algorithm::kHybrid, data, k,
-                                          ts)),
-                MsCell(RunGpu(gpu::Algorithm::kBitonic, data, k,
-                                          ts)),
-                MsCell(RunGpu(gpu::Algorithm::kRadixSelect, data,
-                                          k, ts))});
+                MsCell(RunOp("HybridTopK", data, k, ts)),
+                MsCell(RunOp("BitonicTopK", data, k, ts)),
+                MsCell(RunOp("RadixSelect", data, k, ts))});
     }
     PrintTable(t, flags.GetBool("csv"));
     std::printf("\n");

@@ -3,12 +3,22 @@
 // window planner, and the CPU top-k kernels. These measure *host* wall time
 // of the simulation itself (useful when sizing experiments), unlike the
 // paper-figure benches which report simulated device time.
+//
+// Smoke mode: `bench_kernels --algo=<name|all>` skips the microbenchmarks
+// and instead runs the named registry operator (or every registered one)
+// on a small input, checking the result against a sort oracle. CI uses
+// `--algo=all` as a cheap every-operator liveness gate.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
 
 #include "common/distributions.h"
 #include "cputopk/cpu_topk.h"
 #include "gputopk/bitonic_plan.h"
-#include "gputopk/topk.h"
+#include "gputopk/bitonic_topk.h"
+#include "topk/registry.h"
 
 namespace mptopk {
 namespace {
@@ -74,7 +84,67 @@ void BM_CpuBitonic(benchmark::State& state) {
 }
 BENCHMARK(BM_CpuBitonic)->Unit(benchmark::kMillisecond);
 
+// Runs `op` on a small float input and checks the top-k values against a
+// sort oracle. Returns true on success; prints a diagnostic otherwise.
+// Pow2-only operators are exercised at a power-of-two k; caps-infeasible
+// configurations (e.g. max_k below the smoke k) shrink k to fit.
+bool SmokeOperator(const topk::TopKOperator& op) {
+  const size_t n = 1 << 14;
+  size_t k = 64;
+  if (op.caps().max_k > 0) k = std::min(k, op.caps().max_k);
+  auto data = GenerateFloats(n, Distribution::kUniform, /*seed=*/7);
+  simt::Device dev;
+  auto r = op.TopKHost(dev, data.data(), n, k);
+  if (!r.ok()) {
+    std::fprintf(stderr, "FAIL %s: %s\n", op.name().c_str(),
+                 r.status().ToString().c_str());
+    return false;
+  }
+  std::vector<float> oracle = data;
+  std::sort(oracle.begin(), oracle.end(), std::greater<float>());
+  oracle.resize(k);
+  if (r->items != oracle) {
+    std::fprintf(stderr, "FAIL %s: top-%zu mismatch vs sort oracle\n",
+                 op.name().c_str(), k);
+    return false;
+  }
+  std::printf("ok   %-14s top-%-3zu of %zu floats  (%s)\n",
+              op.name().c_str(), k, n,
+              topk::BackendName(op.caps().backend));
+  return true;
+}
+
+// --algo=all runs every registered operator; --algo=<name> resolves through
+// the registry (aliases work; unknown names list the registered set).
+int SmokeMain(const char* algo) {
+  int failures = 0;
+  if (std::strcmp(algo, "all") == 0) {
+    for (const auto* op : mptopk::topk::Registry::Instance().All()) {
+      if (!SmokeOperator(*op)) ++failures;
+    }
+  } else {
+    auto op = topk::FindOperator(algo);
+    if (!op.ok()) {
+      std::fprintf(stderr, "%s\n", op.status().ToString().c_str());
+      return 1;
+    }
+    if (!SmokeOperator(*op.value())) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace mptopk
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--algo=", 7) == 0) {
+      return mptopk::SmokeMain(argv[i] + 7);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -64,12 +64,12 @@ int Main(int argc, char** argv) {
   for (size_t k : PowersOfTwo(1, 1024)) {
     table.AddRow({
         std::to_string(k),
-        MsCell(RunGpu(gpu::Algorithm::kRadixSelect, kv, k, ts)),
-        MsCell(RunGpu(gpu::Algorithm::kBitonic, kv, k, ts)),
-        MsCell(RunGpu(gpu::Algorithm::kRadixSelect, kkv, k, ts)),
-        MsCell(RunGpu(gpu::Algorithm::kBitonic, kkv, k, ts)),
-        MsCell(RunGpu(gpu::Algorithm::kRadixSelect, kkkv, k, ts)),
-        MsCell(RunGpu(gpu::Algorithm::kBitonic, kkkv, k, ts)),
+        MsCell(RunOp("RadixSelect", kv, k, ts)),
+        MsCell(RunOp("BitonicTopK", kv, k, ts)),
+        MsCell(RunOp("RadixSelect", kkv, k, ts)),
+        MsCell(RunOp("BitonicTopK", kkv, k, ts)),
+        MsCell(RunOp("RadixSelect", kkkv, k, ts)),
+        MsCell(RunOp("BitonicTopK", kkkv, k, ts)),
     });
   }
   PrintTable(table, flags.GetBool("csv"));

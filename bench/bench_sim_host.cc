@@ -17,7 +17,7 @@ namespace mptopk::bench {
 namespace {
 
 struct Sample {
-  const char* algo;
+  std::string algo;
   int workers;
   bool tracing;
   double wall_ms;      // host wall-clock per TopK call (best of reps)
@@ -44,10 +44,7 @@ int Main(int argc, char** argv) {
   const auto data =
       GenerateFloats(n, Distribution::kUniform, flags.GetInt("seed"));
 
-  constexpr gpu::Algorithm kAlgos[] = {
-      gpu::Algorithm::kSort, gpu::Algorithm::kPerThread,
-      gpu::Algorithm::kRadixSelect, gpu::Algorithm::kBucketSelect,
-      gpu::Algorithm::kBitonic};
+  const auto sweep = topk::GpuSweepOperators();
   constexpr int kWorkers[] = {1, 2, 4, 8};
 
   std::printf("# SIMT simulator host throughput: n=2^%lld f32, k=%zu, "
@@ -60,7 +57,7 @@ int Main(int argc, char** argv) {
   std::vector<Sample> samples;
   TablePrinter table({"algo", "tracing", "workers", "wall_ms", "sim_ms",
                       "Mblocks/s", "Melem/s", "speedup"});
-  for (gpu::Algorithm algo : kAlgos) {
+  for (const auto* op : sweep) {
     for (bool tracing : {true, false}) {
       double base_wall = 0.0;
       for (int w : kWorkers) {
@@ -74,7 +71,7 @@ int Main(int argc, char** argv) {
           // minimum (block 0 is always traced for calibration).
           dev.set_trace_sample_target(tracing ? 0 : 1);
           const auto t0 = std::chrono::steady_clock::now();
-          auto r = gpu::TopK(dev, data.data(), n, k, algo);
+          auto r = op->TopKHost(dev, data.data(), n, k);
           const auto t1 = std::chrono::steady_clock::now();
           if (!r.ok()) { best_ms = -1.0; break; }
           const double ms =
@@ -92,9 +89,9 @@ int Main(int argc, char** argv) {
             static_cast<double>(blocks) / (best_ms * 1e-3);
         const double melem_per_s =
             static_cast<double>(n) / (best_ms * 1e-3) / 1e6;
-        samples.push_back({gpu::AlgorithmName(algo), w, tracing, best_ms,
+        samples.push_back({op->name(), w, tracing, best_ms,
                            sim_ms, blocks_per_s, melem_per_s});
-        table.AddRow({gpu::AlgorithmName(algo), tracing ? "full" : "min",
+        table.AddRow({op->name(), tracing ? "full" : "min",
                       std::to_string(w), MsCell(best_ms), MsCell(sim_ms),
                       TablePrinter::Cell(blocks_per_s / 1e6, 3),
                       TablePrinter::Cell(melem_per_s, 1),
@@ -121,7 +118,8 @@ int Main(int argc, char** argv) {
                    "    {\"algo\": \"%s\", \"tracing\": %s, \"workers\": %d, "
                    "\"wall_ms\": %.3f, \"sim_ms\": %.3f, "
                    "\"blocks_per_s\": %.0f, \"melem_per_s\": %.2f}%s\n",
-                   s.algo, s.tracing ? "true" : "false", s.workers, s.wall_ms,
+                   s.algo.c_str(), s.tracing ? "true" : "false", s.workers,
+                   s.wall_ms,
                    s.sim_ms, s.blocks_per_s, s.melem_per_s,
                    i + 1 < samples.size() ? "," : "");
     }

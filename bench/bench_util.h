@@ -11,14 +11,15 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/distributions.h"
 #include "common/flags.h"
 #include "common/table_printer.h"
-#include "gputopk/topk.h"
 #include "simt/workers.h"
+#include "topk/registry.h"
 
 namespace mptopk::bench {
 
@@ -42,24 +43,39 @@ inline void DefineCommonFlags(Flags* flags, const char* default_n_log2) {
                 "Host speed only; simulated times are identical.");
 }
 
-/// Runs one GPU algorithm on host data, returning simulated kernel ms
-/// (NaN when the algorithm cannot run at this configuration, e.g.
+/// Runs one registered top-k operator on host data, returning simulated
+/// kernel ms (NaN when the operator cannot run at this configuration, e.g.
 /// per-thread top-k beyond its shared-memory limit -- rendered as '-').
 /// With racecheck on, hazard summaries print to stderr (timings do not
 /// change; the checker is analysis-only).
 template <typename E>
-double RunGpu(gpu::Algorithm algo, const std::vector<E>& data, size_t k,
-              int trace_sample, bool racecheck = false) {
+double RunOp(const topk::TopKOperator& op, const std::vector<E>& data,
+             size_t k, int trace_sample, bool racecheck = false) {
   simt::Device dev;
   dev.set_trace_sample_target(trace_sample);
   dev.set_racecheck(racecheck || dev.racecheck());
-  auto r = gpu::TopK(dev, data.data(), data.size(), k, algo);
+  auto r = op.TopKHost(dev, data.data(), data.size(), k);
   if (dev.racecheck() && !dev.race_report().clean()) {
-    std::fprintf(stderr, "%s: %s\n", gpu::AlgorithmName(algo),
+    std::fprintf(stderr, "%s: %s\n", op.name().c_str(),
                  dev.race_report().Summary().c_str());
   }
   if (!r.ok()) return kNaN;
   return r->kernel_ms;
+}
+
+/// Name-addressed variant: resolves `name` (canonical or alias) through
+/// the registry -- the one string->operator parser in the codebase. An
+/// unknown name aborts with the registered-operator list, so a typo in a
+/// bench column is caught on the first run rather than printing '-'.
+template <typename E>
+double RunOp(const std::string& name, const std::vector<E>& data, size_t k,
+             int trace_sample, bool racecheck = false) {
+  auto op = topk::FindOperator(name);
+  if (!op.ok()) {
+    std::fprintf(stderr, "%s\n", op.status().ToString().c_str());
+    std::abort();
+  }
+  return RunOp(*op.value(), data, k, trace_sample, racecheck);
 }
 
 /// The paper's "Memory Bandwidth" floor: time to read the data once.

@@ -17,16 +17,16 @@ namespace {
 template <typename E>
 void Run(const std::vector<E>& data, bool csv, int trace_sample,
          bool racecheck) {
-  TablePrinter table({"k", "Sort", "PerThread", "RadixSelect", "BucketSelect",
-                      "BitonicTopK", "MemBandwidth"});
+  const auto sweep = topk::GpuSweepOperators();
+  std::vector<std::string> header{"k"};
+  for (const auto* op : sweep) header.push_back(op->display_name());
+  header.push_back("MemBandwidth");
+  TablePrinter table(header);
   const double floor_ms = BandwidthFloorMs(data.size() * sizeof(E));
   for (size_t k : PowersOfTwo(1, 1024)) {
     std::vector<std::string> row{std::to_string(k)};
-    for (gpu::Algorithm a :
-         {gpu::Algorithm::kSort, gpu::Algorithm::kPerThread,
-          gpu::Algorithm::kRadixSelect, gpu::Algorithm::kBucketSelect,
-          gpu::Algorithm::kBitonic}) {
-      row.push_back(MsCell(RunGpu(a, data, k, trace_sample, racecheck)));
+    for (const auto* op : sweep) {
+      row.push_back(MsCell(RunOp(*op, data, k, trace_sample, racecheck)));
     }
     row.push_back(MsCell(floor_ms));
     table.AddRow(std::move(row));

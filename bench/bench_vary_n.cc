@@ -23,18 +23,17 @@ int Main(int argc, char** argv) {
 
   std::printf("# Figure 13: top-%zu vs data size, uniform floats "
               "(simulated ms)\n", k);
-  TablePrinter table({"log2(n)", "Sort", "PerThread", "RadixSelect",
-                      "BucketSelect", "BitonicTopK"});
+  const auto sweep = topk::GpuSweepOperators();
+  std::vector<std::string> header{"log2(n)"};
+  for (const auto* op : sweep) header.push_back(op->display_name());
+  TablePrinter table(header);
   for (int64_t lg = flags.GetInt("min_log2"); lg <= flags.GetInt("max_log2");
        ++lg) {
     const size_t n = size_t{1} << lg;
     auto data = GenerateFloats(n, Distribution::kUniform, flags.GetInt("seed"));
     std::vector<std::string> row{std::to_string(lg)};
-    for (gpu::Algorithm a :
-         {gpu::Algorithm::kSort, gpu::Algorithm::kPerThread,
-          gpu::Algorithm::kRadixSelect, gpu::Algorithm::kBucketSelect,
-          gpu::Algorithm::kBitonic}) {
-      row.push_back(MsCell(RunGpu(a, data, k, ts, rc)));
+    for (const auto* op : sweep) {
+      row.push_back(MsCell(RunOp(*op, data, k, ts, rc)));
     }
     table.AddRow(std::move(row));
   }

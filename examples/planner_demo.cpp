@@ -38,8 +38,7 @@ int main() {
       } else {
         std::printf("%-12.1f ", t[3]);
       }
-      std::printf("%-10.1f %s\n", t[4],
-                  gpu::AlgorithmName(plan->algorithm));
+      std::printf("%-10.1f %s\n", t[4], plan->best->name().c_str());
     }
   }
 
@@ -53,19 +52,19 @@ int main() {
   for (const auto& e : plan->ranked) {
     simt::Device dev;
     dev.set_trace_sample_target(16);
-    auto r = gpu::TopK(dev, data.data(), n, 32, e.algorithm);
+    auto r = e.op->TopKHost(dev, data.data(), n, 32);
     std::printf("  %-14s predicted %8.3f ms   measured %8.3f ms\n",
-                gpu::AlgorithmName(e.algorithm), e.predicted_ms,
+                e.op->name().c_str(), e.predicted_ms,
                 r.ok() ? r->kernel_ms : -1.0);
   }
-  std::printf("planner's pick: %s\n", gpu::AlgorithmName(plan->algorithm));
+  std::printf("planner's pick: %s\n", plan->best->name().c_str());
 
   // With extensions enabled, the sampling hybrid (paper Section 8 future
   // work) joins the candidate set.
   auto ext = planner::PlanTopK(spec, w, /*include_extensions=*/true);
   if (ext.ok()) {
     std::printf("\nwith extensions enabled: %s (predicted %.3f ms)\n",
-                gpu::AlgorithmName(ext->algorithm),
+                ext->best->name().c_str(),
                 ext->ranked.front().predicted_ms);
   }
   return 0;

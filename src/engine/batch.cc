@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "topk/registry.h"
+
 namespace mptopk::engine {
 
 std::string BatchReport::Summary() const {
@@ -30,6 +32,13 @@ BatchExecutor::BatchExecutor(Table& table, int num_streams) : table_(table) {
 StatusOr<BatchReport> BatchExecutor::Execute(
     const std::vector<BatchQuery>& queries) {
   simt::Device& dev = *table_.device();
+  // A batch naming an unknown top-k operator is malformed: resolve every
+  // override against the registry up front rather than failing per item.
+  for (const BatchQuery& q : queries) {
+    if (!q.exec.topk_operator.empty()) {
+      MPTOPK_RETURN_NOT_OK(topk::FindOperator(q.exec.topk_operator).status());
+    }
+  }
   BatchReport report;
   report.items.reserve(queries.size());
 

@@ -9,6 +9,7 @@
 #include "gputopk/bitonic_kernels.h"
 #include "gputopk/radix_sort.h"
 #include "gputopk/topk.h"
+#include "topk/registry.h"
 
 namespace mptopk::engine {
 namespace {
@@ -449,6 +450,14 @@ Status LaunchCompactGroups(const simt::ExecCtx& dev, GlobalSpan<uint32_t> keys,
   return st.ok() ? Status::OK() : st.status();
 }
 
+// Resolves the operator for a query's top-k step: the ExecOptions override
+// when set, otherwise the strategy's default registry name.
+StatusOr<const topk::TopKOperator*> ResolveTopKOperator(
+    const ExecOptions& exec, const char* strategy_default) {
+  return topk::FindOperator(exec.topk_operator.empty() ? strategy_default
+                                                       : exec.topk_operator);
+}
+
 // Runs the top-k step through the resilient executor and captures its
 // one-line report for the query result.
 StatusOr<TopKResult<KV>> ResilientStep(const simt::ExecCtx& dev,
@@ -578,14 +587,14 @@ StatusOr<QueryResult> FilterTopKQuery(Table& table, const Filter& filter,
     if (exec.resilient) {
       MPTOPK_ASSIGN_OR_RETURN(top, ResilientStep(dev, kv_buf, matched, k_eff,
                                                  exec, &resilience_summary));
-    } else if (strategy == TopKStrategy::kFilterSort) {
-      MPTOPK_ASSIGN_OR_RETURN(top,
-                              gpu::SortTopKDevice(dev, kv_buf, matched,
-                                                  k_eff));
     } else {
       MPTOPK_ASSIGN_OR_RETURN(
-          top, gpu::TopKDevice(dev, kv_buf, matched, k_eff,
-                               gpu::Algorithm::kBitonic));
+          const topk::TopKOperator* op,
+          ResolveTopKOperator(exec, strategy == TopKStrategy::kFilterSort
+                                        ? "Sort"
+                                        : "BitonicTopK"));
+      MPTOPK_ASSIGN_OR_RETURN(top, op->TopKDevice(dev, kv_buf, matched,
+                                                  k_eff));
     }
   }
 
@@ -675,14 +684,14 @@ StatusOr<GroupByResult> GroupByCountTopKQuery(Table& table,
     MPTOPK_ASSIGN_OR_RETURN(top,
                             ResilientStep(dev, groups, num_groups, k_eff, exec,
                                           &result.resilience_summary));
-  } else if (strategy == GroupByStrategy::kSort) {
-    MPTOPK_ASSIGN_OR_RETURN(top,
-                            gpu::SortTopKDevice(dev, groups, num_groups,
-                                                k_eff));
   } else {
     MPTOPK_ASSIGN_OR_RETURN(
-        top, gpu::TopKDevice(dev, groups, num_groups, k_eff,
-                             gpu::Algorithm::kBitonic));
+        const topk::TopKOperator* op,
+        ResolveTopKOperator(exec, strategy == GroupByStrategy::kSort
+                                      ? "Sort"
+                                      : "BitonicTopK"));
+    MPTOPK_ASSIGN_OR_RETURN(top, op->TopKDevice(dev, groups, num_groups,
+                                                k_eff));
   }
   result.topk_ms = tracker.ElapsedMs() - groupby_ms;
   for (const KV& kv : top.items) {

@@ -104,6 +104,13 @@ struct ExecOptions {
   /// on the table device's default stream — the legacy single-query path.
   /// Set by engine::BatchExecutor to interleave queries across streams.
   const simt::ExecCtx* ctx = nullptr;
+  /// Registry name (or alias) of the operator to run the top-k step with,
+  /// overriding the strategy's default ("Sort" under kFilterSort /
+  /// GroupByStrategy::kSort, "BitonicTopK" otherwise). Resolved through
+  /// topk::FindOperator, so any registered operator — including extensions —
+  /// is addressable; unknown names fail the query with the registered list.
+  /// Ignored when `resilient` routes the step through the planner.
+  std::string topk_operator;
 };
 
 struct QueryResult {

@@ -1,6 +1,8 @@
-// Public top-k entry point: algorithm selection by name or enum, plus the
-// generic TopK() that dispatches (optionally via the cost-based planner in
-// planner/plan_topk.h).
+// DEPRECATED enum-based top-k dispatch, kept as thin shims over the unified
+// operator registry (topk/registry.h). New code should resolve operators by
+// name via topk::FindOperator / topk::Registry and call their caps-checked
+// entry points; the Algorithm enum only addresses the six legacy GPU
+// algorithms and cannot see registered extensions.
 //
 // All algorithms share the same contract: the k greatest elements by
 // ElementTraits ordering, returned in descending order, input unmodified,
@@ -18,6 +20,7 @@
 #include "gputopk/perthread_topk.h"
 #include "gputopk/radix_select.h"
 #include "gputopk/radix_sort.h"
+#include "topk/registry.h"
 
 namespace mptopk::gpu {
 
@@ -48,89 +51,49 @@ inline const char* AlgorithmName(Algorithm a) {
   return "Unknown";
 }
 
+/// Parses a legacy algorithm spelling (or any registry name/alias) to the
+/// deprecated enum via the one registry name table; unknown names report
+/// the full registered-operator list.
 inline StatusOr<Algorithm> ParseAlgorithm(const std::string& name) {
-  if (name == "sort") return Algorithm::kSort;
-  if (name == "perthread") return Algorithm::kPerThread;
-  if (name == "radix_select") return Algorithm::kRadixSelect;
-  if (name == "bucket_select") return Algorithm::kBucketSelect;
-  if (name == "bitonic") return Algorithm::kBitonic;
-  if (name == "hybrid") return Algorithm::kHybrid;
-  return Status::InvalidArgument("unknown algorithm: " + name);
+  MPTOPK_ASSIGN_OR_RETURN(const topk::TopKOperator* op,
+                          topk::FindOperator(name));
+  for (Algorithm a : {Algorithm::kSort, Algorithm::kPerThread,
+                      Algorithm::kRadixSelect, Algorithm::kBucketSelect,
+                      Algorithm::kBitonic, Algorithm::kHybrid}) {
+    if (op->name() == AlgorithmName(a)) return a;
+  }
+  return Status::InvalidArgument(
+      "operator '" + op->name() +
+      "' is not addressable through the deprecated gpu::Algorithm enum; "
+      "use topk::FindOperator");
 }
 
 /// Direction of the selection: the k greatest (descending result, the
 /// paper's setting) or the k smallest (ascending result).
 enum class SortOrder { kLargest, kSmallest };
 
-/// Runs the chosen algorithm on device-resident data. For bitonic, a
-/// non-power-of-two k is rounded up internally and the result trimmed, so
-/// any 1 <= k <= n works with every algorithm.
+/// DEPRECATED: resolves the named registry operator and runs it on
+/// device-resident data. For bitonic/hybrid a non-power-of-two k is rounded
+/// up internally and the result trimmed, so any 1 <= k <= n works.
 template <typename E>
 StatusOr<TopKResult<E>> TopKDevice(const simt::ExecCtx& dev,
                                    simt::DeviceBuffer<E>& data, size_t n,
                                    size_t k, Algorithm algo) {
-  if (k == 0 || k > n) {
-    return Status::InvalidArgument("require 1 <= k <= n (k=" +
-                                   std::to_string(k) + ", n=" +
-                                   std::to_string(n) + ")");
-  }
-  switch (algo) {
-    case Algorithm::kSort:
-      return SortTopKDevice(dev, data, n, k);
-    case Algorithm::kPerThread:
-      return PerThreadTopKDevice(dev, data, n, k);
-    case Algorithm::kRadixSelect:
-      return RadixSelectTopKDevice(dev, data, n, k);
-    case Algorithm::kBucketSelect:
-      return BucketSelectTopKDevice(dev, data, n, k);
-    case Algorithm::kBitonic:
-    case Algorithm::kHybrid: {
-      size_t k2 = NextPowerOfTwo(k);
-      if (k2 > n) {
-        // Rounding k up to a power of two would exceed n; fall back to the
-        // selection-based method, which handles any k.
-        return RadixSelectTopKDevice(dev, data, n, k);
-      }
-      auto run = algo == Algorithm::kBitonic
-                     ? BitonicTopKDevice(dev, data, n, k2, BitonicOptions{})
-                     : HybridTopKDevice(dev, data, n, k2, HybridOptions{});
-      MPTOPK_ASSIGN_OR_RETURN(auto r, std::move(run));
-      r.items.resize(k);
-      return r;
-    }
-  }
-  return Status::InvalidArgument("unknown algorithm");
+  MPTOPK_ASSIGN_OR_RETURN(const topk::TopKOperator* op,
+                          topk::FindOperator(AlgorithmName(algo)));
+  return op->TopKDevice(dev, data, n, k);
 }
 
-/// Bottom-k: the k smallest elements, ascending. Implemented as top-k over
-/// the order-negated keys (one extra negate-copy pass, counted): every
-/// algorithm, option and distribution guarantee carries over symmetrically.
+/// DEPRECATED: bottom-k — the k smallest elements, ascending. Implemented
+/// by the registry operator as top-k over the order-negated keys (one extra
+/// negate-copy pass, counted).
 template <typename E>
 StatusOr<TopKResult<E>> BottomKDevice(const simt::ExecCtx& dev,
                                       simt::DeviceBuffer<E>& data, size_t n,
                                       size_t k, Algorithm algo) {
-  if (k == 0 || k > n) {
-    return Status::InvalidArgument("require 1 <= k <= n");
-  }
-  MPTOPK_ASSIGN_OR_RETURN(auto negated, dev.Alloc<E>(n));
-  simt::GlobalSpan<E> in(data), out(negated);
-  const int grid = static_cast<int>(std::min<uint64_t>(1024,
-                                                       CeilDiv(n, 256)));
-  auto st = dev.Launch(
-      {.grid_dim = grid, .block_dim = 256, .name = "negate_keys"},
-      [&](simt::Block& blk) {
-        blk.ForEachThread([&](simt::Thread& t) {
-          size_t stride = static_cast<size_t>(grid) * 256;
-          for (size_t i = static_cast<size_t>(blk.block_idx()) * 256 + t.tid;
-               i < n; i += stride) {
-            out.Write(t, i, ElementTraits<E>::Negated(in.Read(t, i)));
-          }
-        });
-      });
-  if (!st.ok()) return st.status();
-  MPTOPK_ASSIGN_OR_RETURN(auto r, TopKDevice(dev, negated, n, k, algo));
-  for (E& e : r.items) e = ElementTraits<E>::Negated(e);
-  return r;
+  MPTOPK_ASSIGN_OR_RETURN(const topk::TopKOperator* op,
+                          topk::FindOperator(AlgorithmName(algo)));
+  return op->BottomKDevice(dev, data, n, k);
 }
 
 /// Runs the selection in either direction (see SortOrder).
@@ -144,14 +107,15 @@ StatusOr<TopKResult<E>> TopKDevice(const simt::ExecCtx& dev,
              : BottomKDevice(dev, data, n, k, algo);
 }
 
-/// Host-staging convenience wrapper.
+/// DEPRECATED: host-staging convenience wrapper over the registry operator.
 template <typename E>
 StatusOr<TopKResult<E>> TopK(const simt::ExecCtx& dev, const E* data, size_t n,
                              size_t k, Algorithm algo = Algorithm::kBitonic,
                              SortOrder order = SortOrder::kLargest) {
-  MPTOPK_ASSIGN_OR_RETURN(auto buf, dev.Alloc<E>(n));
-  MPTOPK_RETURN_NOT_OK(dev.CopyToDevice(buf, data, n));
-  return TopKDevice(dev, buf, n, k, algo, order);
+  MPTOPK_ASSIGN_OR_RETURN(const topk::TopKOperator* op,
+                          topk::FindOperator(AlgorithmName(algo)));
+  return order == SortOrder::kLargest ? op->TopKHost(dev, data, n, k)
+                                      : op->BottomKHost(dev, data, n, k);
 }
 
 }  // namespace mptopk::gpu

@@ -20,6 +20,9 @@ struct TopKResult {
   double kernel_ms = 0.0;
   /// Number of kernel launches performed.
   int kernels_launched = 0;
+  /// Host wall-clock milliseconds, populated by CPU-backend operators in
+  /// the unified registry (topk/registry.h); 0 for simulated GPU runs.
+  double host_ms = 0.0;
 };
 
 /// Sorts a small result vector descending by the element ordering (used to

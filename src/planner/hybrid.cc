@@ -53,7 +53,7 @@ StatusOr<HybridChoice> PlanHybridTopK(const simt::DeviceSpec& gpu_spec,
   MPTOPK_ASSIGN_OR_RETURN(Plan gpu_plan, PlanTopK(gpu_spec, w));
   HybridChoice choice;
   choice.gpu_kernel_ms = gpu_plan.ranked.front().predicted_ms;
-  choice.gpu_algorithm = gpu_plan.algorithm;
+  choice.gpu_op = gpu_plan.best;
   choice.transfer_ms =
       placement == PlacementInput::kHostResident
           ? static_cast<double>(w.n) * w.elem_size /

@@ -30,8 +30,8 @@ enum class PlacementInput { kHostResident, kDeviceResident };
 
 struct HybridChoice {
   bool use_gpu = true;
-  /// Set when use_gpu.
-  gpu::Algorithm gpu_algorithm = gpu::Algorithm::kBitonic;
+  /// Set when use_gpu: the registry operator the GPU-side plan chose.
+  const topk::TopKOperator* gpu_op = nullptr;
   /// Set when !use_gpu.
   cpu::CpuAlgorithm cpu_algorithm = cpu::CpuAlgorithm::kHandPq;
   double predicted_ms = 0.0;

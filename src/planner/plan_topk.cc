@@ -11,34 +11,20 @@ StatusOr<Plan> PlanTopK(const simt::DeviceSpec& spec,
     return Status::InvalidArgument("require 1 <= k <= n");
   }
   Plan plan;
-  auto add = [&](gpu::Algorithm a, double ms) {
-    if (ms >= 0) plan.ranked.push_back({a, ms});
-  };
-  add(gpu::Algorithm::kSort, cost::SortCostMs(spec, w));
-  add(gpu::Algorithm::kRadixSelect, cost::RadixSelectCostMs(spec, w));
-  add(gpu::Algorithm::kBucketSelect, cost::BucketSelectCostMs(spec, w));
-  add(gpu::Algorithm::kPerThread, cost::PerThreadCostMs(spec, w));
-  if (include_extensions && NextPowerOfTwo(w.k) <= 1024) {
-    cost::Workload w2 = w;
-    w2.k = NextPowerOfTwo(w.k);
-    add(gpu::Algorithm::kHybrid, cost::HybridCostMs(spec, w2));
+  for (const topk::TopKOperator* op : topk::Registry::Instance().All()) {
+    if (op->caps().cost_ms == nullptr) continue;  // not planner-rankable
+    if (op->caps().extension && !include_extensions) continue;
+    const double ms = op->CostMs(spec, w);
+    if (ms >= 0) plan.ranked.push_back({op, ms});
   }
-  // Bitonic feasibility: two k-runs per tile (same rule as the kernels).
-  size_t tile_limit = 4096 / 2;
-  if (w.elem_size > 8) tile_limit = 2048 / 2;
-  if (NextPowerOfTwo(w.k) <= tile_limit) {
-    cost::Workload w2 = w;
-    w2.k = NextPowerOfTwo(w.k);
-    add(gpu::Algorithm::kBitonic, cost::BitonicTopKCostMs(spec, w2));
-  }
-  std::sort(plan.ranked.begin(), plan.ranked.end(),
-            [](const AlgorithmEstimate& a, const AlgorithmEstimate& b) {
-              return a.predicted_ms < b.predicted_ms;
-            });
+  std::stable_sort(plan.ranked.begin(), plan.ranked.end(),
+                   [](const OperatorEstimate& a, const OperatorEstimate& b) {
+                     return a.predicted_ms < b.predicted_ms;
+                   });
   if (plan.ranked.empty()) {
-    return Status::Internal("no feasible top-k algorithm");
+    return Status::Internal("no feasible top-k operator");
   }
-  plan.algorithm = plan.ranked.front().algorithm;
+  plan.best = plan.ranked.front().op;
   return plan;
 }
 

@@ -1,12 +1,15 @@
-// Cost-based top-k algorithm selection — the query-optimizer use case the
+// Cost-based top-k operator selection — the query-optimizer use case the
 // paper motivates in its conclusion ("allowing a query optimizer to choose
 // the best top-k implementation for a particular query") and lists as future
 // work ("hybrid and adaptive solutions").
 //
-// PlanTopK evaluates the Section 7 cost models for every candidate
-// algorithm under the given workload and returns them ranked. Infeasible
-// algorithms (per-thread heaps beyond shared memory, bitonic beyond
-// k = tile/2) are excluded.
+// PlanTopK ranks the registered operators (topk/registry.h) by their
+// OperatorCaps cost hooks (the Section 7 models) under the given workload.
+// Infeasible operators (per-thread heaps beyond shared memory, bitonic
+// beyond k = tile/2) price themselves out with a negative cost; operators
+// without a cost hook (CPU backends, the streaming executor) don't compete.
+// A newly registered operator with a cost hook joins the ranking with no
+// planner edits.
 #ifndef MPTOPK_PLANNER_PLAN_TOPK_H_
 #define MPTOPK_PLANNER_PLAN_TOPK_H_
 
@@ -14,31 +17,32 @@
 
 #include "common/status.h"
 #include "cost/cost_model.h"
-#include "gputopk/topk.h"
+#include "topk/registry.h"
 
 namespace mptopk::planner {
 
-struct AlgorithmEstimate {
-  gpu::Algorithm algorithm;
-  double predicted_ms;
+struct OperatorEstimate {
+  const topk::TopKOperator* op = nullptr;
+  double predicted_ms = 0.0;
 };
 
 struct Plan {
-  /// The chosen (cheapest feasible) algorithm.
-  gpu::Algorithm algorithm;
-  /// All feasible algorithms, cheapest first.
-  std::vector<AlgorithmEstimate> ranked;
+  /// The chosen (cheapest feasible) operator.
+  const topk::TopKOperator* best = nullptr;
+  /// All feasible operators, cheapest first.
+  std::vector<OperatorEstimate> ranked;
 };
 
-/// Ranks the algorithms by predicted cost for the workload. By default only
-/// the paper's five algorithms compete (reproducing its planner study); with
-/// include_extensions the sampling-based hybrid (Section 8 future work)
-/// joins, and typically wins on distributions its pivot can discriminate.
+/// Ranks the registered operators by predicted cost for the workload. By
+/// default only the paper's core algorithms compete (reproducing its planner
+/// study); with include_extensions the sampling-based hybrid (Section 8
+/// future work) joins, and typically wins on distributions its pivot can
+/// discriminate.
 StatusOr<Plan> PlanTopK(const simt::DeviceSpec& spec,
                         const cost::Workload& workload,
                         bool include_extensions = false);
 
-/// Convenience: plan, then run the chosen algorithm on device data.
+/// Convenience: plan, then run the chosen operator on device data.
 template <typename E>
 StatusOr<gpu::TopKResult<E>> PlannedTopKDevice(const simt::ExecCtx& dev,
                                                simt::DeviceBuffer<E>& data,
@@ -54,7 +58,7 @@ StatusOr<gpu::TopKResult<E>> PlannedTopKDevice(const simt::ExecCtx& dev,
   w.dist = hint;
   w.concurrent_streams = dev.concurrency_hint();
   MPTOPK_ASSIGN_OR_RETURN(Plan plan, PlanTopK(dev.spec(), w));
-  return gpu::TopKDevice(dev, data, n, k, plan.algorithm);
+  return plan.best->TopKDevice(dev, data, n, k);
 }
 
 }  // namespace mptopk::planner

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "topk/registry.h"
+
 namespace mptopk::planner {
 
 std::string ExecutionReport::Summary() const {
@@ -211,9 +213,9 @@ Status RunTransfer(const simt::ExecCtx& dev, const ResilienceOptions& opts,
   }
 }
 
-/// Walks the planner-ranked GPU algorithms over device-resident data,
-/// retrying within a stage and falling back across stages. No chunked/CPU
-/// degrade here — callers layer those on.
+/// Walks the planner-ranked GPU operators (topk/registry.h) over
+/// device-resident data, retrying within a stage and falling back across
+/// stages. No chunked/CPU degrade here — callers layer those on.
 template <typename E>
 Status RunGpuStages(const simt::ExecCtx& dev, simt::DeviceBuffer<E>& data, size_t n,
                     size_t k, const ResilienceOptions& opts,
@@ -233,16 +235,16 @@ Status RunGpuStages(const simt::ExecCtx& dev, simt::DeviceBuffer<E>& data, size_
     ++rep->faults_seen;
     return plan.status().WithContext("planner");
   }
-  Status last = Status::Internal("planner returned no feasible algorithm");
+  Status last = Status::Internal("planner returned no feasible operator");
   bool first = true;
-  for (const AlgorithmEstimate& est : plan.value().ranked) {
+  for (const OperatorEstimate& est : plan.value().ranked) {
     if (!first) ++rep->fallbacks;  // reached only after the previous failed
     first = false;
-    const char* name = gpu::AlgorithmName(est.algorithm);
+    const std::string& name = est.op->name();
     Status st = RunStage<E>(
         dev, opts, name, data.host_data(), n, k,
         [&]() -> StatusOr<std::vector<E>> {
-          auto r = gpu::TopKDevice(dev, data, n, k, est.algorithm);
+          auto r = est.op->TopKDevice(dev, data, n, k);
           if (!r.ok()) return r.status();
           return std::move(r.value().items);
         },
@@ -256,24 +258,35 @@ Status RunGpuStages(const simt::ExecCtx& dev, simt::DeviceBuffer<E>& data, size_
   return last;
 }
 
-/// The final CPU stage over host-resident input.
+/// The final CPU stage over host-resident input: the registry's CPU
+/// operators in caps fallback order (hand-rolled heap first), skipping any
+/// whose caps reject this (element type, n, k) request.
 template <typename E>
 Status RunCpuStage(const simt::ExecCtx& dev, const E* data, size_t n, size_t k,
                    const ResilienceOptions& opts, ExecutionReport* rep,
                    std::vector<E>* items) {
-  Status st = RunStage<E>(
-      dev, opts, "cpu:HandPq", data, n, k,
-      [&]() -> StatusOr<std::vector<E>> {
-        auto r = cpu::CpuTopK(data, n, k, cpu::CpuAlgorithm::kHandPq);
-        if (!r.ok()) return r.status();
-        return std::move(r.value().items);
-      },
-      rep, items);
-  if (st.ok()) {
-    rep->used_cpu = true;
-    rep->final_algorithm = "cpu:HandPq";
+  Status last = Status::Internal("no CPU operator registered");
+  bool first = true;
+  for (const topk::TopKOperator* op : topk::CpuFallbackChain()) {
+    if (!op->CheckCaps(topk::ElemTypeOf<E>::value, n, k).ok()) continue;
+    if (!first) ++rep->fallbacks;
+    first = false;
+    Status st = RunStage<E>(
+        dev, opts, op->name(), data, n, k,
+        [&]() -> StatusOr<std::vector<E>> {
+          auto r = op->TopKHost(dev, data, n, k);
+          if (!r.ok()) return r.status();
+          return std::move(r.value().items);
+        },
+        rep, items);
+    if (st.ok()) {
+      rep->used_cpu = true;
+      rep->final_algorithm = op->name();
+      return st;
+    }
+    last = st;
   }
-  return st;
+  return last;
 }
 
 }  // namespace
@@ -365,19 +378,21 @@ StatusOr<ResilientResult<E>> ResilientTopK(const simt::ExecCtx& dev, const E* da
         "ResilientTopK: input does not fit device memory");
   }
 
-  if (!done && opts.allow_chunked_degrade) {
+  const topk::TopKOperator* streaming = topk::StreamingFallback();
+  if (!done && opts.allow_chunked_degrade && streaming != nullptr &&
+      streaming->CheckCaps(topk::ElemTypeOf<E>::value, n, k).ok()) {
     ++out.report.fallbacks;
     out.report.degraded_to_chunked = true;
     Status st = RunStage<E>(
-        dev, opts, "ChunkedTopK", data, n, k,
+        dev, opts, streaming->name(), data, n, k,
         [&]() -> StatusOr<std::vector<E>> {
-          auto r = gpu::ChunkedTopK(dev, data, n, k);
+          auto r = streaming->TopKHost(dev, data, n, k);
           if (!r.ok()) return r.status();
           return std::move(r.value().items);
         },
         &out.report, &out.items);
     if (st.ok()) {
-      out.report.final_algorithm = "ChunkedTopK";
+      out.report.final_algorithm = streaming->name();
       done = true;
     } else {
       last = st;

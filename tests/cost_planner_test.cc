@@ -118,21 +118,21 @@ TEST(CostVsSimulatorTest, RadixSelectTracksMeasured) {
 TEST(PlannerTest, PrefersBitonicAtSmallK) {
   auto plan = planner::PlanTopK(Spec(), FloatWorkload(1ull << 29, 32));
   ASSERT_TRUE(plan.ok());
-  EXPECT_EQ(plan->algorithm, Algorithm::kBitonic);
+  EXPECT_EQ(plan->best->name(), "BitonicTopK");
 }
 
 TEST(PlannerTest, CrossoverToRadixSelectAtLargeK) {
   // Paper Section 6.2: radix select wins for k > 256.
   auto plan = planner::PlanTopK(Spec(), FloatWorkload(1ull << 29, 1024));
   ASSERT_TRUE(plan.ok());
-  EXPECT_EQ(plan->algorithm, Algorithm::kRadixSelect);
+  EXPECT_EQ(plan->best->name(), "RadixSelect");
 }
 
 TEST(PlannerTest, NeverPicksSort) {
   for (size_t k : {1, 32, 256, 1024}) {
     auto plan = planner::PlanTopK(Spec(), FloatWorkload(1ull << 26, k));
     ASSERT_TRUE(plan.ok());
-    EXPECT_NE(plan->algorithm, Algorithm::kSort) << "k=" << k;
+    EXPECT_NE(plan->best->name(), "Sort") << "k=" << k;
   }
 }
 
@@ -149,7 +149,7 @@ TEST(PlannerTest, ExcludesInfeasiblePerThread) {
   auto plan = planner::PlanTopK(Spec(), FloatWorkload(1 << 24, 512));
   ASSERT_TRUE(plan.ok());
   for (const auto& e : plan->ranked) {
-    EXPECT_NE(e.algorithm, Algorithm::kPerThread) << "k=512 must not fit";
+    EXPECT_NE(e.op->name(), "PerThreadTopK") << "k=512 must not fit";
   }
 }
 
@@ -183,8 +183,8 @@ TEST(PlannerExtensionTest, HybridWinsWhenEnabled) {
   auto ext = planner::PlanTopK(Spec(), w, /*include_extensions=*/true);
   ASSERT_TRUE(base.ok());
   ASSERT_TRUE(ext.ok());
-  EXPECT_EQ(base->algorithm, gpu::Algorithm::kBitonic);
-  EXPECT_EQ(ext->algorithm, gpu::Algorithm::kHybrid)
+  EXPECT_EQ(base->best->name(), "BitonicTopK");
+  EXPECT_EQ(ext->best->name(), "HybridTopK")
       << "~1 read beats shared-bound bitonic";
   EXPECT_EQ(ext->ranked.size(), base->ranked.size() + 1);
 }
@@ -193,7 +193,7 @@ TEST(PlannerExtensionTest, HybridNotPickedOnBucketKiller) {
   cost::Workload w{1ull << 29, 32, 4, 4, Distribution::kBucketKiller};
   auto ext = planner::PlanTopK(Spec(), w, /*include_extensions=*/true);
   ASSERT_TRUE(ext.ok());
-  EXPECT_EQ(ext->algorithm, gpu::Algorithm::kBitonic)
+  EXPECT_EQ(ext->best->name(), "BitonicTopK")
       << "hybrid's fallback costs bitonic plus a wasted read";
 }
 

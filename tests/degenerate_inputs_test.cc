@@ -1,7 +1,11 @@
-// Degenerate-input coverage across every GPU algorithm and the CPU
-// baselines: k = 0, k = n, k > n, n = 0, all-duplicate keys, and NaN / +-Inf
-// keys. The NaN contract (common/key_transform.h) is enforced here: every
-// algorithm must agree that all NaNs are equal and rank above +Inf.
+// Degenerate-input coverage across every registered top-k operator (GPU
+// algorithms, chunked, and the CPU baselines enumerate from
+// topk::Registry::All()): k = 0, k = n, k > n, n = 0, all-duplicate keys,
+// and NaN / +-Inf keys. The NaN contract (common/key_transform.h) is
+// enforced here: every operator must agree that all NaNs are equal and
+// rank above +Inf. Operators whose capability descriptor rules out a
+// configuration (pow2-only k, max_k) are skipped in the positive tests
+// and must reject cleanly in the negative ones.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -11,21 +15,14 @@
 #include "common/distributions.h"
 #include "common/key_transform.h"
 #include "cputopk/cpu_topk.h"
-#include "gputopk/topk.h"
+#include "topk/registry.h"
 
 namespace mptopk {
 namespace {
 
-using gpu::Algorithm;
-using gpu::AlgorithmName;
-using cpu::CpuAlgorithm;
-using cpu::CpuAlgorithmName;
-
-constexpr Algorithm kAllGpu[] = {Algorithm::kSort, Algorithm::kPerThread,
-                                 Algorithm::kRadixSelect,
-                                 Algorithm::kBucketSelect, Algorithm::kBitonic};
-constexpr CpuAlgorithm kAllCpu[] = {CpuAlgorithm::kStlPq, CpuAlgorithm::kHandPq,
-                                    CpuAlgorithm::kBitonic};
+std::vector<const topk::TopKOperator*> AllOps() {
+  return topk::Registry::Instance().All();
+}
 
 // Reference top-k under the library's one true ordering (ordered bits, so
 // NaN-safe): descending, ties kept.
@@ -48,48 +45,30 @@ std::vector<uint32_t> ToBits(const std::vector<float>& items) {
 
 TEST(DegenerateInputsTest, KZeroRejectedEverywhere) {
   auto data = GenerateFloats(1024, Distribution::kUniform);
-  for (Algorithm algo : kAllGpu) {
+  for (const auto* op : AllOps()) {
     simt::Device dev;
-    auto r = gpu::TopK(dev, data.data(), data.size(), 0, algo);
-    ASSERT_FALSE(r.ok()) << AlgorithmName(algo);
-    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
-        << AlgorithmName(algo);
-  }
-  for (CpuAlgorithm algo : kAllCpu) {
-    auto r = cpu::CpuTopK(data.data(), data.size(), 0, algo);
-    ASSERT_FALSE(r.ok()) << CpuAlgorithmName(algo);
-    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
-        << CpuAlgorithmName(algo);
+    auto r = op->TopKHost(dev, data.data(), data.size(), 0);
+    ASSERT_FALSE(r.ok()) << op->name();
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << op->name();
   }
 }
 
 TEST(DegenerateInputsTest, NZeroRejectedEverywhere) {
   float dummy = 0.0f;
-  for (Algorithm algo : kAllGpu) {
+  for (const auto* op : AllOps()) {
     simt::Device dev;
-    auto r = gpu::TopK(dev, &dummy, 0, 4, algo);
-    EXPECT_FALSE(r.ok()) << AlgorithmName(algo);
-  }
-  for (CpuAlgorithm algo : kAllCpu) {
-    auto r = cpu::CpuTopK(&dummy, 0, 4, algo);
-    EXPECT_FALSE(r.ok()) << CpuAlgorithmName(algo);
+    auto r = op->TopKHost(dev, &dummy, 0, 4);
+    EXPECT_FALSE(r.ok()) << op->name();
   }
 }
 
 TEST(DegenerateInputsTest, KGreaterThanNRejectedEverywhere) {
   auto data = GenerateFloats(256, Distribution::kUniform);
-  for (Algorithm algo : kAllGpu) {
+  for (const auto* op : AllOps()) {
     simt::Device dev;
-    auto r = gpu::TopK(dev, data.data(), data.size(), 257, algo);
-    ASSERT_FALSE(r.ok()) << AlgorithmName(algo);
-    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
-        << AlgorithmName(algo);
-  }
-  for (CpuAlgorithm algo : kAllCpu) {
-    auto r = cpu::CpuTopK(data.data(), data.size(), 257, algo);
-    ASSERT_FALSE(r.ok()) << CpuAlgorithmName(algo);
-    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
-        << CpuAlgorithmName(algo);
+    auto r = op->TopKHost(dev, data.data(), data.size(), 257);
+    ASSERT_FALSE(r.ok()) << op->name();
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << op->name();
   }
 }
 
@@ -97,45 +76,39 @@ TEST(DegenerateInputsTest, KEqualsNReturnsFullSort) {
   const size_t n = 64;
   auto data = GenerateFloats(n, Distribution::kUniform);
   const auto ref = ReferenceOrderedBits(data, n);
-  for (Algorithm algo : kAllGpu) {
+  int ran = 0;
+  for (const auto* op : AllOps()) {
+    if (!op->CheckCaps(topk::ElemType::kF32, n, n).ok()) continue;
     simt::Device dev;
-    auto r = gpu::TopK(dev, data.data(), n, n, algo);
+    auto r = op->TopKHost(dev, data.data(), n, n);
     if (!r.ok()) {
       // Per-thread heaps may exceed shared memory at k = n — a documented
       // feasibility limit (paper Section 4.1), reported as a clean error.
       EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
-          << AlgorithmName(algo) << ": " << r.status();
+          << op->name() << ": " << r.status();
       continue;
     }
-    EXPECT_EQ(ToBits(r->items), ref) << AlgorithmName(algo);
+    EXPECT_EQ(ToBits(r->items), ref) << op->name();
+    ++ran;
   }
-  for (CpuAlgorithm algo : kAllCpu) {
-    auto r = cpu::CpuTopK(data.data(), n, n, algo);
-    ASSERT_TRUE(r.ok()) << CpuAlgorithmName(algo) << ": " << r.status();
-    EXPECT_EQ(ToBits(r->items), ref) << CpuAlgorithmName(algo);
-  }
+  EXPECT_GE(ran, 8) << "caps must not exclude feasible configurations";
 }
 
 TEST(DegenerateInputsTest, AllDuplicateKeys) {
   const size_t n = 4096;
   const size_t k = 16;
   std::vector<float> data(n, 7.5f);
-  for (Algorithm algo : kAllGpu) {
+  for (const auto* op : AllOps()) {
+    ASSERT_TRUE(op->CheckCaps(topk::ElemType::kF32, n, k).ok()) << op->name();
     simt::Device dev;
-    auto r = gpu::TopK(dev, data.data(), n, k, algo);
-    ASSERT_TRUE(r.ok()) << AlgorithmName(algo) << ": " << r.status();
-    ASSERT_EQ(r->items.size(), k) << AlgorithmName(algo);
-    for (float v : r->items) EXPECT_EQ(v, 7.5f) << AlgorithmName(algo);
-  }
-  for (CpuAlgorithm algo : kAllCpu) {
-    auto r = cpu::CpuTopK(data.data(), n, k, algo);
-    ASSERT_TRUE(r.ok()) << CpuAlgorithmName(algo) << ": " << r.status();
-    ASSERT_EQ(r->items.size(), k) << CpuAlgorithmName(algo);
-    for (float v : r->items) EXPECT_EQ(v, 7.5f) << CpuAlgorithmName(algo);
+    auto r = op->TopKHost(dev, data.data(), n, k);
+    ASSERT_TRUE(r.ok()) << op->name() << ": " << r.status();
+    ASSERT_EQ(r->items.size(), k) << op->name();
+    for (float v : r->items) EXPECT_EQ(v, 7.5f) << op->name();
   }
 }
 
-// The consistency contract: every algorithm — selection-based (which ranks
+// The consistency contract: every operator — selection-based (which ranks
 // through ordered bits) and comparison-based (which ranks through
 // ElementTraits::Less) — must agree on inputs containing NaN and +-Inf.
 TEST(DegenerateInputsTest, NanAndInfinityOrderingIsConsistent) {
@@ -157,18 +130,13 @@ TEST(DegenerateInputsTest, NanAndInfinityOrderingIsConsistent) {
   ASSERT_EQ(ref[3], KeyTraits<float>::ToOrderedBits(
                         std::numeric_limits<float>::infinity()));
 
-  for (Algorithm algo : kAllGpu) {
+  for (const auto* op : AllOps()) {
     simt::Device dev;
-    auto r = gpu::TopK(dev, data.data(), n, k, algo);
-    ASSERT_TRUE(r.ok()) << AlgorithmName(algo) << ": " << r.status();
-    EXPECT_EQ(ToBits(r->items), ref) << AlgorithmName(algo);
-    EXPECT_TRUE(IsNanKey(r->items[0])) << AlgorithmName(algo);
-    EXPECT_TRUE(std::isinf(r->items[3])) << AlgorithmName(algo);
-  }
-  for (CpuAlgorithm algo : kAllCpu) {
-    auto r = cpu::CpuTopK(data.data(), n, k, algo, /*threads=*/2);
-    ASSERT_TRUE(r.ok()) << CpuAlgorithmName(algo) << ": " << r.status();
-    EXPECT_EQ(ToBits(r->items), ref) << CpuAlgorithmName(algo);
+    auto r = op->TopKHost(dev, data.data(), n, k);
+    ASSERT_TRUE(r.ok()) << op->name() << ": " << r.status();
+    EXPECT_EQ(ToBits(r->items), ref) << op->name();
+    EXPECT_TRUE(IsNanKey(r->items[0])) << op->name();
+    EXPECT_TRUE(std::isinf(r->items[3])) << op->name();
   }
 }
 
@@ -181,12 +149,14 @@ TEST(DegenerateInputsTest, NanOrderingHoldsForDouble) {
   data[100] = std::numeric_limits<double>::infinity();
 
   simt::Device dev;
-  auto g = gpu::TopK(dev, data.data(), n, k, Algorithm::kBitonic);
+  auto g = topk::FindOperator("BitonicTopK")
+               .value()
+               ->TopKHost(dev, data.data(), n, k);
   ASSERT_TRUE(g.ok()) << g.status();
   EXPECT_TRUE(IsNanKey(g->items[0]));
   EXPECT_TRUE(std::isinf(g->items[1]));
 
-  auto c = cpu::CpuTopK(data.data(), n, k, CpuAlgorithm::kBitonic);
+  auto c = cpu::CpuTopK(data.data(), n, k, cpu::CpuAlgorithm::kBitonic);
   ASSERT_TRUE(c.ok()) << c.status();
   EXPECT_TRUE(IsNanKey(c->items[0]));
   EXPECT_TRUE(std::isinf(c->items[1]));
@@ -196,25 +166,17 @@ TEST(DegenerateInputsTest, NanOrderingHoldsForDouble) {
   }
 }
 
-// All-NaN input: still returns k items, all NaN, from every algorithm.
+// All-NaN input: still returns k items, all NaN, from every operator.
 TEST(DegenerateInputsTest, AllNanInput) {
   const size_t n = 2048;
   const size_t k = 8;
   std::vector<float> data(n, std::numeric_limits<float>::quiet_NaN());
-  for (Algorithm algo : kAllGpu) {
+  for (const auto* op : AllOps()) {
     simt::Device dev;
-    auto r = gpu::TopK(dev, data.data(), n, k, algo);
-    ASSERT_TRUE(r.ok()) << AlgorithmName(algo) << ": " << r.status();
-    ASSERT_EQ(r->items.size(), k) << AlgorithmName(algo);
-    for (float v : r->items) EXPECT_TRUE(IsNanKey(v)) << AlgorithmName(algo);
-  }
-  for (CpuAlgorithm algo : kAllCpu) {
-    auto r = cpu::CpuTopK(data.data(), n, k, algo);
-    ASSERT_TRUE(r.ok()) << CpuAlgorithmName(algo) << ": " << r.status();
-    ASSERT_EQ(r->items.size(), k) << CpuAlgorithmName(algo);
-    for (float v : r->items) {
-      EXPECT_TRUE(IsNanKey(v)) << CpuAlgorithmName(algo);
-    }
+    auto r = op->TopKHost(dev, data.data(), n, k);
+    ASSERT_TRUE(r.ok()) << op->name() << ": " << r.status();
+    ASSERT_EQ(r->items.size(), k) << op->name();
+    for (float v : r->items) EXPECT_TRUE(IsNanKey(v)) << op->name();
   }
 }
 

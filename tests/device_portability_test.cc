@@ -56,11 +56,11 @@ TEST(DevicePortabilityTest, CostModelAndPlannerTransfer) {
   // ...and the planner still produces the paper's qualitative choices.
   auto small_k = planner::PlanTopK(p100, w);
   ASSERT_TRUE(small_k.ok());
-  EXPECT_EQ(small_k->algorithm, gpu::Algorithm::kBitonic);
+  EXPECT_EQ(small_k->best->name(), "BitonicTopK");
   cost::Workload big{1ull << 29, 1024, 4, 4, Distribution::kUniform};
   auto large_k = planner::PlanTopK(p100, big);
   ASSERT_TRUE(large_k.ok());
-  EXPECT_EQ(large_k->algorithm, gpu::Algorithm::kRadixSelect);
+  EXPECT_EQ(large_k->best->name(), "RadixSelect");
 }
 
 TEST(DevicePortabilityTest, PerThreadLimitsFollowSharedMemory) {

@@ -1,10 +1,13 @@
 // Property-based differential campaign: a seeded generator sweeps
 // n x k x distribution (uniform / zipf / all-equal / sorted / reverse-sorted
-// / NaN-Inf mix) across every GPU algorithm, the sampling hybrid, the
-// chunked executor and the CPU backends. Each run is checked against a
-// std::partial_sort-style host oracle under the library's one true ordering
-// (ordered bits, NaN-safe) and all backends are cross-checked pairwise.
-// Every failure message carries the reproducing case seed.
+// / NaN-Inf mix) across every operator in the top-k registry -- GPU
+// algorithms, the sampling hybrid, the chunked executor and the CPU
+// backends enumerate from topk::Registry::All(), so a newly registered
+// operator joins the campaign with zero edits here. Each run is checked
+// against a std::partial_sort-style host oracle under the library's one
+// true ordering (ordered bits, NaN-safe) and all backends are
+// cross-checked pairwise. Every failure message carries the reproducing
+// case seed.
 //
 // The campaign runs >= 200 cases per algorithm in Release; under
 // MPTOPK_RACECHECK=1 (the CI racecheck legs) sizes and case counts are
@@ -23,19 +26,13 @@
 
 #include "common/distributions.h"
 #include "common/key_transform.h"
-#include "cputopk/cpu_topk.h"
 #include "gputopk/chunked.h"
-#include "gputopk/topk.h"
 #include "simt/device.h"
 #include "simt/racecheck.h"
+#include "topk/registry.h"
 
 namespace mptopk {
 namespace {
-
-using gpu::Algorithm;
-using gpu::AlgorithmName;
-using cpu::CpuAlgorithm;
-using cpu::CpuAlgorithmName;
 
 enum class Dist {
   kUniform,
@@ -154,11 +151,11 @@ TEST(PropertyDifferential, Campaign) {
              : std::vector<size_t>{33, 257, 1024, 4096, 16384};
   const std::vector<size_t> k_choices = {1, 2, 8, 17, 32, 64, 100, 256};
 
-  constexpr Algorithm kGpuAlgos[] = {
-      Algorithm::kSort, Algorithm::kPerThread, Algorithm::kRadixSelect,
-      Algorithm::kBucketSelect, Algorithm::kBitonic};
-  constexpr CpuAlgorithm kCpuAlgos[] = {CpuAlgorithm::kStlPq,
-                                        CpuAlgorithm::kHandPq};
+  // The documented operator set: 6 GPU algorithms + chunked + 3 CPU
+  // backends (docs/operators.md). A registrar added/removed anywhere in
+  // the linked libraries shows up here.
+  const auto ops = topk::Registry::Instance().All();
+  ASSERT_EQ(ops.size(), 10u);
 
   std::map<std::string, int> runs;
   std::mt19937_64 meta(20260807);
@@ -171,104 +168,75 @@ TEST(PropertyDifferential, Campaign) {
     tc.dist = kAllDists[c % std::size(kAllDists)];
 
     const auto data = Generate(tc.dist, tc.n, tc.seed);
-    const auto oracle = OracleBits(data, tc.k);
 
-    // (backend name, result bits) for the pairwise cross-check.
-    std::vector<std::pair<std::string, std::vector<uint32_t>>> results;
+    // Results grouped by the k each operator actually ran at: pow2-only
+    // operators (cpu:Bitonic) run at bit_floor(k) and cross-check against
+    // each other; everything else runs at tc.k. Pairwise comparison
+    // happens within each group, oracle comparison against that group's k.
+    std::map<size_t,
+             std::vector<std::pair<std::string, std::vector<uint32_t>>>>
+        by_k;
 
-    for (Algorithm algo : kGpuAlgos) {
+    for (const auto* op : ops) {
+      size_t k_eff = tc.k;
+      if (op->caps().pow2_k_only) k_eff = std::bit_floor(k_eff);
+      if (op->caps().max_k > 0) k_eff = std::min(k_eff, op->caps().max_k);
+      if (!op->CheckCaps(topk::ElemType::kF32, tc.n, k_eff).ok()) continue;
+
       simt::Device dev;
       dev.set_trace_sample_target(4);
-      auto r = gpu::TopK(dev, data.data(), data.size(), tc.k, algo);
+      auto r = op->TopKHost(dev, data.data(), data.size(), k_eff);
       if (!r.ok()) {
         // Per-thread top-k may exhaust shared memory at large k; every
         // other failure is a bug.
         ASSERT_EQ(r.status().code(), StatusCode::kResourceExhausted)
-            << tc.Label() << " algo=" << AlgorithmName(algo) << ": "
+            << tc.Label() << " op=" << op->name() << ": "
             << r.status().ToString();
         continue;
       }
-      ASSERT_EQ(r->items.size(), tc.k)
-          << tc.Label() << " algo=" << AlgorithmName(algo);
-      results.emplace_back(AlgorithmName(algo), ToBits(r->items));
-      ++runs[AlgorithmName(algo)];
+      ASSERT_EQ(r->items.size(), k_eff)
+          << tc.Label() << " op=" << op->name();
+      by_k[k_eff].emplace_back(op->name(), ToBits(r->items));
+      ++runs[op->name()];
     }
     {
-      // The sampling hybrid and the CPU bitonic network require
-      // power-of-two k: run them at bit_floor(k) against their own oracle
-      // (and each other), and join the pairwise pool when bit_floor(k) == k.
-      const size_t k2 = std::bit_floor(tc.k);
-      const auto oracle2 = (k2 == tc.k) ? oracle : OracleBits(data, k2);
-
-      simt::Device dev;
-      dev.set_trace_sample_target(4);
-      auto h = gpu::TopK(dev, data.data(), data.size(), k2,
-                         Algorithm::kHybrid);
-      ASSERT_TRUE(h.ok()) << tc.Label() << " algo=hybrid k2=" << k2 << ": "
-                          << h.status().ToString();
-      ASSERT_EQ(h->items.size(), k2) << tc.Label() << " algo=hybrid";
-      const auto hbits = ToBits(h->items);
-      ASSERT_EQ(hbits, oracle2)
-          << tc.Label() << ": hybrid (k2=" << k2
-          << ") disagrees with the partial_sort oracle";
-      ++runs["hybrid"];
-
-      auto cb = cpu::CpuTopK(data.data(), data.size(), k2,
-                             CpuAlgorithm::kBitonic);
-      ASSERT_TRUE(cb.ok()) << tc.Label() << " algo=cpu:bitonic k2=" << k2
-                           << ": " << cb.status().ToString();
-      const auto cbits = ToBits(cb->items);
-      ASSERT_EQ(cbits, oracle2)
-          << tc.Label() << ": cpu:bitonic (k2=" << k2
-          << ") disagrees with the partial_sort oracle";
-      ASSERT_EQ(hbits, cbits)
-          << tc.Label() << ": hybrid vs cpu:bitonic pairwise mismatch at k2="
-          << k2;
-      ++runs["cpu:bitonic"];
-
-      if (k2 == tc.k) {
-        results.emplace_back("hybrid", hbits);
-        results.emplace_back("cpu:bitonic", cbits);
-      }
-    }
-    {
+      // The registry runs the chunked executor single-chunk; keep an
+      // explicit multi-chunk case so the merge path stays covered.
       simt::Device dev;
       dev.set_trace_sample_target(4);
       const size_t chunk = std::max<size_t>(tc.k, tc.n / 3 + 1);
       auto r = gpu::ChunkedTopK(dev, data.data(), data.size(), tc.k, chunk);
       ASSERT_TRUE(r.ok()) << tc.Label()
-                          << " algo=chunked: " << r.status().ToString();
-      ASSERT_EQ(r->items.size(), tc.k) << tc.Label() << " algo=chunked";
-      results.emplace_back("chunked", ToBits(r->items));
-      ++runs["chunked"];
-    }
-    for (CpuAlgorithm algo : kCpuAlgos) {
-      auto r = cpu::CpuTopK(data.data(), data.size(), tc.k, algo);
-      ASSERT_TRUE(r.ok()) << tc.Label() << " algo=" << CpuAlgorithmName(algo)
-                          << ": " << r.status().ToString();
-      results.emplace_back(std::string("cpu:") + CpuAlgorithmName(algo),
-                           ToBits(r->items));
-      ++runs[std::string("cpu:") + CpuAlgorithmName(algo)];
+                          << " algo=chunked-multi: " << r.status().ToString();
+      ASSERT_EQ(r->items.size(), tc.k) << tc.Label() << " algo=chunked-multi";
+      by_k[tc.k].emplace_back("chunked-multi", ToBits(r->items));
+      ++runs["chunked-multi"];
     }
 
-    for (const auto& [name, bits] : results) {
-      ASSERT_EQ(bits, oracle) << tc.Label() << ": " << name
-                              << " disagrees with the partial_sort oracle";
-    }
-    for (size_t i = 1; i < results.size(); ++i) {
-      ASSERT_EQ(results[i].second, results[i - 1].second)
-          << tc.Label() << ": " << results[i].first << " vs "
-          << results[i - 1].first << " pairwise mismatch";
+    for (const auto& [k_eff, results] : by_k) {
+      const auto oracle = OracleBits(data, k_eff);
+      for (const auto& [name, bits] : results) {
+        ASSERT_EQ(bits, oracle)
+            << tc.Label() << ": " << name << " (k=" << k_eff
+            << ") disagrees with the partial_sort oracle";
+      }
+      for (size_t i = 1; i < results.size(); ++i) {
+        ASSERT_EQ(results[i].second, results[i - 1].second)
+            << tc.Label() << ": " << results[i].first << " vs "
+            << results[i - 1].first << " pairwise mismatch at k=" << k_eff;
+      }
     }
   }
 
-  // The acceptance bar: at least 200 executed cases per algorithm (the
+  // The acceptance bar: at least 200 executed cases per backend (the
   // capped racecheck legs run a smaller, still-exhaustive sweep).
   const int floor_runs = capped ? 40 : 200;
   for (const auto& [name, count] : runs) {
     EXPECT_GE(count, floor_runs) << name << " ran too few cases";
   }
-  EXPECT_EQ(runs.size(), 10u);  // 6 GPU + chunked + 3 CPU backends
+  // Every registered operator plus the explicit multi-chunk round must
+  // have participated.
+  EXPECT_EQ(runs.size(), ops.size() + 1);
 }
 
 }  // namespace
